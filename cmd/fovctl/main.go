@@ -1,0 +1,251 @@
+// Command fovctl is the client CLI of the content-free video retrieval
+// system. It simulates a capture session (a mobility scenario producing
+// the sensor stream a phone would record), segments it in real time,
+// uploads the representative FoVs, and runs queries.
+//
+// Usage:
+//
+//	fovctl -server http://127.0.0.1:8477 capture -scenario walk -provider alice
+//	fovctl -server http://127.0.0.1:8477 query -lat 40.0013 -lng 116.326 -radius 20 -from 0 -to 60000
+//	fovctl -server http://127.0.0.1:8477 watch -lat 40.0013 -lng 116.326 -radius 20 -polls 5
+//	fovctl -server http://127.0.0.1:8477 snapshot -out city.fovs
+//	fovctl -server http://127.0.0.1:8477 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"fovr/internal/client"
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/trace"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8477", "server base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := client.New(*serverURL)
+	var err error
+	switch args[0] {
+	case "capture":
+		err = runCapture(c, args[1:])
+	case "query":
+		err = runQuery(c, args[1:])
+	case "watch":
+		err = runWatch(c, args[1:])
+	case "snapshot":
+		err = runSnapshot(c, args[1:])
+	case "forget":
+		err = runForget(c, args[1:])
+	case "stats":
+		err = runStats(c)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fovctl:", err)
+		os.Exit(1)
+	}
+}
+
+func newRand() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|watch|snapshot|forget|stats> [flags]
+  capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
+  query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
+  watch    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-polls 10] [-interval 2s]
+  snapshot -out FILE
+  forget   -provider NAME
+  stats`)
+	os.Exit(2)
+}
+
+func runCapture(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	scenario := fs.String("scenario", "walk", "walk|walk-side|rotate|drive|bike")
+	provider := fs.String("provider", "anonymous", "provider identity")
+	threshold := fs.Float64("threshold", 0.5, "segmentation threshold")
+	noise := fs.Bool("noise", false, "apply default sensor noise")
+	_ = fs.Parse(args)
+
+	cfg := trace.DefaultConfig
+	var samples []fov.Sample
+	var err error
+	switch *scenario {
+	case "walk":
+		samples, err = trace.WalkAhead(cfg)
+	case "walk-side":
+		samples, err = trace.WalkSideways(cfg)
+	case "rotate":
+		samples, err = trace.Rotation(cfg)
+	case "drive":
+		samples, err = trace.DriveStraight(cfg)
+	case "bike":
+		samples, err = trace.BikeWithTurn(cfg)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+	if *noise {
+		samples = trace.DefaultNoise.Apply(newRand(), samples)
+	}
+
+	sess, err := client.NewCaptureSession(*provider, segment.Config{
+		Camera:    fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100},
+		Threshold: *threshold,
+		// Circular azimuth averaging: the paper's plain Eq. 11 mean
+		// misplaces representatives when noisy azimuths straddle north
+		// (see the abstraction ablation).
+		CircularMean: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sess.PushAll(samples); err != nil {
+		return err
+	}
+	upload := sess.Stop()
+	ids, err := c.Upload(upload)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d frames -> %d segments, uploaded %d bytes, ids %v\n",
+		len(samples), len(upload.Reps), c.Traffic.Sent(), ids)
+	return nil
+}
+
+func runQuery(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	lat := fs.Float64("lat", trace.ScenarioOrigin.Lat, "query center latitude")
+	lng := fs.Float64("lng", trace.ScenarioOrigin.Lng, "query center longitude")
+	radius := fs.Float64("radius", 20, "query radius in meters")
+	from := fs.Int64("from", 0, "start millis")
+	to := fs.Int64("to", 60_000, "end millis")
+	top := fs.Int("top", 10, "max results")
+	_ = fs.Parse(args)
+
+	results, elapsed, err := c.Query(query.Query{
+		StartMillis:  *from,
+		EndMillis:    *to,
+		Center:       geo.Point{Lat: *lat, Lng: *lng},
+		RadiusMeters: *radius,
+	}, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d results in %v (server-side)\n", len(results), elapsed)
+	for i, r := range results {
+		fmt.Printf("%2d. segment %d by %s: %.1f m away, facing %.0f°, t=[%d, %d]\n",
+			i+1, r.Entry.ID, r.Entry.Provider, r.DistanceMeters,
+			r.Entry.Rep.FoV.Theta, r.Entry.Rep.StartMillis, r.Entry.Rep.EndMillis)
+	}
+	return nil
+}
+
+func runStats(c *client.Client) error {
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("segments: %d  providers: %d  index height: %d  bytes in/out: %d/%d  uptime: %.0fs\n",
+		st.Segments, len(st.Providers), st.IndexHeight, st.BytesIn, st.BytesOut, st.UptimeSeconds)
+	return nil
+}
+
+func runWatch(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	lat := fs.Float64("lat", trace.ScenarioOrigin.Lat, "watch center latitude")
+	lng := fs.Float64("lng", trace.ScenarioOrigin.Lng, "watch center longitude")
+	radius := fs.Float64("radius", 20, "watch radius in meters")
+	from := fs.Int64("from", 0, "start millis")
+	to := fs.Int64("to", 1<<40, "end millis")
+	polls := fs.Int("polls", 10, "number of polls before exiting")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	_ = fs.Parse(args)
+
+	id, err := c.Subscribe(query.Query{
+		StartMillis: *from, EndMillis: *to,
+		Center: geo.Point{Lat: *lat, Lng: *lng}, RadiusMeters: *radius,
+	}, 0)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Unsubscribe(id) }()
+	fmt.Printf("watching (%.6f, %.6f) r=%.0fm as subscription %d\n", *lat, *lng, *radius, id)
+	cursor := 0
+	for i := 0; i < *polls; i++ {
+		matches, next, err := c.Matches(id, cursor)
+		if err != nil {
+			return err
+		}
+		cursor = next
+		for _, m := range matches {
+			fmt.Printf("NEW segment %d by %s: %.1f m away, t=[%d, %d]\n",
+				m.Entry.ID, m.Entry.Provider, m.DistanceMeters,
+				m.Entry.Rep.StartMillis, m.Entry.Rep.EndMillis)
+		}
+		if i < *polls-1 {
+			time.Sleep(*interval)
+		}
+	}
+	return nil
+}
+
+func runSnapshot(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	out := fs.String("out", "snapshot.fovs", "output file")
+	_ = fs.Parse(args)
+
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("snapshot: %s", resp.Status)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bytes to %s (restore with: fovserver -load %s)\n", n, *out, *out)
+	return nil
+}
+
+func runForget(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("forget", flag.ExitOnError)
+	provider := fs.String("provider", "", "provider whose segments to delete")
+	_ = fs.Parse(args)
+	if *provider == "" {
+		return fmt.Errorf("forget: -provider required")
+	}
+	removed, err := c.Forget(*provider)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("removed %d segments contributed by %s\n", removed, *provider)
+	return nil
+}

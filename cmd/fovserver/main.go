@@ -1,0 +1,108 @@
+// Command fovserver runs the cloud side of the content-free video
+// retrieval system: an HTTP service that accepts representative-FoV
+// uploads from capture clients and answers ranked spatio-temporal
+// queries (see package server for the API).
+//
+// Usage:
+//
+//	fovserver [-addr :8477] [-half-angle 30] [-radius 100] [-max-results 20]
+//	          [-quiet] [-load snapshot.fovs] [-save snapshot.fovs]
+//
+// With -save, a SIGINT/SIGTERM drains connections and writes the index
+// to the given snapshot file; -load restores one at startup.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8477", "listen address")
+	halfAngle := flag.Float64("half-angle", 30, "camera viewing half-angle alpha in degrees")
+	radius := flag.Float64("radius", 100, "radius of view R in meters")
+	maxResults := flag.Int("max-results", 20, "default top-N for queries")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	load := flag.String("load", "", "snapshot file to restore state from at startup (see GET /snapshot)")
+	save := flag.String("save", "", "snapshot file to write on SIGINT/SIGTERM before exiting")
+	flag.Parse()
+
+	cfg := server.Config{
+		Camera:            fov.Camera{HalfAngleDeg: *halfAngle, RadiusMeters: *radius},
+		DefaultMaxResults: *maxResults,
+	}
+	if !*quiet {
+		cfg.Logger = log.New(os.Stderr, "fovserver ", log.LstdFlags)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fovserver:", err)
+		os.Exit(1)
+	}
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovserver:", err)
+			os.Exit(1)
+		}
+		err = srv.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovserver: restore:", err)
+			os.Exit(1)
+		}
+		log.Printf("restored %d segments from %s", srv.Index().Len(), *load)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fovserver:", err)
+		os.Exit(1)
+	}
+	log.Printf("fovserver listening on %s (alpha=%.0f° R=%.0fm)", l.Addr(), *halfAngle, *radius)
+
+	httpSrv := srv.HTTPServer()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(l) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "fovserver:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigs:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fovserver: save:", err)
+				os.Exit(1)
+			}
+			err = srv.WriteSnapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fovserver: save:", err)
+				os.Exit(1)
+			}
+			log.Printf("saved %d segments to %s", srv.Index().Len(), *save)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module fovr
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package client implements the mobile side of the system: the capture
+// session that runs the real-time segmenter while "recording" (Section
+// II-C's backstage process), the descriptor uploader, and the querier.
+//
+// A CaptureSession consumes sensor samples one at a time — exactly the
+// listener shape the Android prototype uses — and accumulates one
+// representative FoV per finished segment. Stopping the session flushes
+// the tail segment and hands back the upload payload; Upload ships it to
+// the cloud in the compact binary format, counting every byte so the
+// evaluation can report the client's networking cost.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/server"
+	"fovr/internal/wire"
+)
+
+// CaptureSession is one recording in progress.
+type CaptureSession struct {
+	provider string
+	camera   fov.Camera
+	seg      *segment.Segmenter
+	reps     []segment.Representative
+	frames   int
+}
+
+// NewCaptureSession starts a recording for the given provider identity.
+func NewCaptureSession(provider string, cfg segment.Config) (*CaptureSession, error) {
+	if provider == "" {
+		return nil, errors.New("client: empty provider")
+	}
+	cfg.KeepSamples = false // the client never retains frames for upload
+	sg, err := segment.NewSegmenter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CaptureSession{provider: provider, camera: cfg.Camera, seg: sg}, nil
+}
+
+// Push feeds the next sensor sample; O(1) per frame.
+func (c *CaptureSession) Push(s fov.Sample) error {
+	res, err := c.seg.Push(s)
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		c.reps = append(c.reps, res.Representative)
+	}
+	c.frames++
+	return nil
+}
+
+// PushAll feeds a whole recorded trace.
+func (c *CaptureSession) PushAll(samples []fov.Sample) error {
+	for i, s := range samples {
+		if err := c.Push(s); err != nil {
+			return fmt.Errorf("client: sample %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stop ends the recording and returns the upload payload: one
+// representative per segment, in capture order, with the device's
+// viewing geometry declared so the cloud filters with the real optics.
+func (c *CaptureSession) Stop() wire.Upload {
+	if res := c.seg.Flush(); res != nil {
+		c.reps = append(c.reps, res.Representative)
+	}
+	reps := c.reps
+	c.reps = nil
+	return wire.Upload{Provider: c.provider, Camera: c.camera, Reps: reps}
+}
+
+// Frames returns the number of samples pushed so far.
+func (c *CaptureSession) Frames() int { return c.frames }
+
+// Segments returns the number of finished segments so far (an open tail
+// segment is not counted until Stop).
+func (c *CaptureSession) Segments() int { return len(c.reps) }
+
+// Client talks to a cloud server over HTTP.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8477".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10 s timeout.
+	HTTPClient *http.Client
+	// Traffic counts request/response bytes; optional.
+	Traffic *wire.TrafficMeter
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+		Traffic:    &wire.TrafficMeter{},
+	}
+}
+
+// Upload ships the payload in the compact binary format and returns the
+// server-assigned segment ids.
+func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
+	body, err := wire.EncodeBinary(u)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := c.post("/upload", "application/octet-stream", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.UploadResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return nil, fmt.Errorf("client: upload response: %w", err)
+	}
+	return resp.IDs, nil
+}
+
+// Query runs a retrieval request and returns the ranked results along
+// with the server-reported search time.
+func (c *Client) Query(q query.Query, maxResults int) ([]query.Ranked, time.Duration, error) {
+	body, err := json.Marshal(server.QueryRequest{Query: q, MaxResults: maxResults})
+	if err != nil {
+		return nil, 0, err
+	}
+	respBody, err := c.post("/query", "application/json", body)
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp server.QueryResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return nil, 0, fmt.Errorf("client: query response: %w", err)
+	}
+	return resp.Results, time.Duration(resp.ElapsedMicros) * time.Microsecond, nil
+}
+
+// Stats fetches the server's state summary.
+func (c *Client) Stats() (server.Stats, error) {
+	httpResp, err := c.httpClient().Get(c.BaseURL + "/stats")
+	if err != nil {
+		return server.Stats{}, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return server.Stats{}, err
+	}
+	c.addTraffic(0, len(body))
+	if httpResp.StatusCode != http.StatusOK {
+		return server.Stats{}, fmt.Errorf("client: stats: %s: %s", httpResp.Status, bytes.TrimSpace(body))
+	}
+	var st server.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return server.Stats{}, err
+	}
+	return st, nil
+}
+
+func (c *Client) post(path, contentType string, body []byte) ([]byte, error) {
+	resp, err := c.httpClient().Post(c.BaseURL+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	c.addTraffic(len(body), len(respBody))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s: %s: %s", path, resp.Status, bytes.TrimSpace(respBody))
+	}
+	return respBody, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) addTraffic(sent, received int) {
+	if c.Traffic != nil {
+		c.Traffic.AddSent(sent)
+		c.Traffic.AddReceived(received)
+	}
+}
+
+// Subscribe registers a standing query on the server; Matches polls for
+// segments uploaded after registration that cover it.
+func (c *Client) Subscribe(q query.Query, maxResults int) (uint64, error) {
+	body, err := json.Marshal(server.QueryRequest{Query: q, MaxResults: maxResults})
+	if err != nil {
+		return 0, err
+	}
+	respBody, err := c.post("/subscribe", "application/json", body)
+	if err != nil {
+		return 0, err
+	}
+	var resp server.SubscribeResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return 0, fmt.Errorf("client: subscribe response: %w", err)
+	}
+	return resp.ID, nil
+}
+
+// Matches fetches matches for a subscription after the given cursor and
+// returns them with the new cursor.
+func (c *Client) Matches(id uint64, after int) ([]query.Ranked, int, error) {
+	url := fmt.Sprintf("%s/matches?id=%d&after=%d", c.BaseURL, id, after)
+	httpResp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, after, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, after, err
+	}
+	c.addTraffic(0, len(body))
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, after, fmt.Errorf("client: matches: %s: %s", httpResp.Status, bytes.TrimSpace(body))
+	}
+	var resp server.MatchesResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, after, err
+	}
+	return resp.Results, resp.Last, nil
+}
+
+// Unsubscribe removes a standing query.
+func (c *Client) Unsubscribe(id uint64) error {
+	respBody, err := c.post(fmt.Sprintf("/unsubscribe?id=%d", id), "text/plain", nil)
+	if err != nil {
+		return err
+	}
+	_ = respBody
+	return nil
+}
+
+// Forget asks the server to delete every segment this provider has
+// contributed (the privacy opt-out). It returns the number removed.
+func (c *Client) Forget(provider string) (int, error) {
+	respBody, err := c.post("/forget?provider="+provider, "text/plain", nil)
+	if err != nil {
+		return 0, err
+	}
+	var out map[string]int
+	if err := json.Unmarshal(respBody, &out); err != nil {
+		return 0, fmt.Errorf("client: forget response: %w", err)
+	}
+	return out["removed"], nil
+}

@@ -1,0 +1,128 @@
+package contentbase
+
+import (
+	"sync"
+	"testing"
+
+	"fovr/internal/cvision"
+	"fovr/internal/render"
+	"fovr/internal/video"
+	"fovr/internal/world"
+)
+
+func descsFor(poses []render.Pose) []cvision.BlockMean {
+	r := render.New(world.Default, render.DefaultCamera)
+	res := video.Resolution{Name: "t", W: 160, H: 90}
+	out := make([]cvision.BlockMean, len(poses))
+	f := res.New()
+	for i, p := range poses {
+		r.Render(p, f)
+		out[i] = cvision.ExtractBlockMean(f)
+	}
+	return out
+}
+
+func TestAddVideoValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.AddVideo("", "v", 0, 100, nil); err == nil {
+		t.Fatal("empty provider accepted")
+	}
+	if err := s.AddVideo("p", "", 0, 100, nil); err == nil {
+		t.Fatal("empty video id accepted")
+	}
+	if err := s.AddVideo("p", "v", 0, 0, nil); err == nil {
+		t.Fatal("zero frame interval accepted")
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	s := NewStore()
+	descs := make([]cvision.BlockMean, 50)
+	if err := s.AddVideo("p", "v", 1000, 100, descs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.UploadedBytes() != 50*DescriptorBytes {
+		t.Fatalf("UploadedBytes = %d", s.UploadedBytes())
+	}
+}
+
+func TestQueryFindsLookalikeFrames(t *testing.T) {
+	// Two videos: one panning past azimuth 40°, one past azimuth 220°.
+	// Querying with an exemplar rendered at azimuth 40° must rank frames
+	// of the first video on top.
+	s := NewStore()
+	var posesA, posesB []render.Pose
+	for i := 0; i <= 20; i++ {
+		posesA = append(posesA, render.Pose{AzimuthDeg: 30 + float64(i)})
+		posesB = append(posesB, render.Pose{AzimuthDeg: 210 + float64(i)})
+	}
+	if err := s.AddVideo("p", "vidA", 0, 100, descsFor(posesA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVideo("p", "vidB", 0, 100, descsFor(posesB)); err != nil {
+		t.Fatal(err)
+	}
+	exemplar := descsFor([]render.Pose{{AzimuthDeg: 40}})[0]
+	matches := s.Query(exemplar, 0, 10_000, 5)
+	if len(matches) != 5 {
+		t.Fatalf("got %d matches", len(matches))
+	}
+	for i, m := range matches {
+		if m.Record.VideoID != "vidA" {
+			t.Fatalf("match %d from %s; exemplar scene is vidA's", i, m.Record.VideoID)
+		}
+	}
+	// The best match is the exact frame (azimuth 40 = index 10).
+	if matches[0].Record.FrameIndex != 10 {
+		t.Fatalf("best match frame %d, want 10", matches[0].Record.FrameIndex)
+	}
+	if matches[0].Similarity != 1 {
+		t.Fatalf("best similarity %v, want 1", matches[0].Similarity)
+	}
+}
+
+func TestQueryTimeWindow(t *testing.T) {
+	s := NewStore()
+	descs := make([]cvision.BlockMean, 10)
+	_ = s.AddVideo("p", "early", 0, 100, descs)
+	_ = s.AddVideo("p", "late", 100_000, 100, descs)
+	matches := s.Query(cvision.BlockMean{}, 99_000, 200_000, 100)
+	for _, m := range matches {
+		if m.Record.VideoID != "late" {
+			t.Fatalf("time window leaked video %q", m.Record.VideoID)
+		}
+	}
+	if len(matches) != 10 {
+		t.Fatalf("got %d matches, want 10", len(matches))
+	}
+	if s.Query(cvision.BlockMean{}, 0, 1_000_000, 0) != nil {
+		t.Fatal("k=0 returned matches")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			descs := make([]cvision.BlockMean, 100)
+			if err := s.AddVideo("p", string(rune('a'+w)), int64(w)*1000, 100, descs); err != nil {
+				t.Error(err)
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Query(cvision.BlockMean{}, 0, 1<<40, 10)
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/trace"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(Config{Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Camera: fov.Camera{HalfAngleDeg: 200, RadiusMeters: 1}}); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+	if _, err := NewSystem(Config{SegmentThreshold: 2}); err == nil {
+		t.Fatal("invalid threshold accepted")
+	}
+	s, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Camera() != fov.DefaultCamera {
+		t.Fatal("camera default not applied")
+	}
+	if s.SegmentConfig().Threshold != 0.5 {
+		t.Fatal("threshold default not applied")
+	}
+}
+
+func TestContributeAndSearchEndToEnd(t *testing.T) {
+	s := newSystem(t)
+	samples, err := trace.WalkAhead(trace.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.Contribute("walker", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || s.Len() != len(ids) {
+		t.Fatalf("ids %v, len %d", ids, s.Len())
+	}
+
+	target := geo.Offset(trace.ScenarioOrigin, 0, 80)
+	hits, err := s.Search(query.Query{
+		StartMillis: 0, EndMillis: 60_000, Center: target, RadiusMeters: 10,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits for a filmed location")
+	}
+	if hits[0].Entry.Provider != "walker" {
+		t.Fatalf("hit %+v", hits[0])
+	}
+
+	// A query in a different year matches nothing.
+	hits, err = s.Search(query.Query{
+		StartMillis: 9_000_000, EndMillis: 9_100_000, Center: target, RadiusMeters: 10,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("time filter failed: %d hits", len(hits))
+	}
+}
+
+func TestContributeValidation(t *testing.T) {
+	s := newSystem(t)
+	if _, err := s.Contribute("", nil); err == nil {
+		t.Fatal("empty provider accepted")
+	}
+	bad := []fov.Sample{{UnixMillis: 0, P: geo.Point{Lat: 95, Lng: 0}}}
+	if _, err := s.Contribute("p", bad); err == nil {
+		t.Fatal("invalid sample accepted")
+	}
+	ids, err := s.Contribute("p", nil)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty capture: ids=%v err=%v", ids, err)
+	}
+}
+
+func TestIngestRollsBackOnBadRep(t *testing.T) {
+	s := newSystem(t)
+	reps := []segment.Representative{
+		{FoV: fov.FoV{P: geo.Point{Lat: 40, Lng: 116}}, StartMillis: 0, EndMillis: 1},
+		{FoV: fov.FoV{P: geo.Point{Lat: 99, Lng: 0}}}, // invalid
+	}
+	if _, err := s.Ingest("p", reps); err == nil {
+		t.Fatal("invalid rep accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rollback failed: %d entries", s.Len())
+	}
+}
+
+func TestForget(t *testing.T) {
+	s := newSystem(t)
+	samples, _ := trace.Rotation(trace.DefaultConfig)
+	ids, err := s.Contribute("p", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Forget(ids[0]) {
+		t.Fatal("forget of present id failed")
+	}
+	if s.Forget(ids[0]) {
+		t.Fatal("double forget succeeded")
+	}
+	if s.Len() != len(ids)-1 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestConcurrentContributors(t *testing.T) {
+	s := newSystem(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := trace.DefaultConfig
+			cfg.StartMillis = int64(w) * 100_000
+			samples, err := trace.Rotation(cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := s.Contribute("p", samples); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All ids unique: Len equals total contributed segments.
+	samples, _ := trace.Rotation(trace.DefaultConfig)
+	results, _ := segment.Split(s.SegmentConfig(), samples)
+	if s.Len() != 8*len(results) {
+		t.Fatalf("len %d, want %d", s.Len(), 8*len(results))
+	}
+}

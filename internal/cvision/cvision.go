@@ -1,0 +1,255 @@
+// Package cvision implements the computer-vision baseline the paper
+// compares FoV descriptors against: frame differencing as the similarity
+// measure (Section VI-B, "we use frame differencing algorithm (as a
+// representative of CV algorithms)"), plus two classic global content
+// descriptors (intensity histogram and block-mean grid) used by the
+// descriptor-size and extraction-cost comparisons, and a CV-based video
+// segmenter mirroring Algorithm 1 on pixels for the Fig. 6(a) cost sweep.
+package cvision
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fovr/internal/video"
+)
+
+// MeanAbsDiff returns the mean absolute pixel difference between two
+// frames of identical geometry, in [0, 255].
+func MeanAbsDiff(a, b *video.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("cvision: frame sizes differ: %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sum uint64
+	for i, pa := range a.Pix {
+		d := int(pa) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += uint64(d)
+	}
+	return float64(sum) / float64(len(a.Pix)), nil
+}
+
+// DiffSimilarity is the frame-differencing similarity: 1 - MAD/255,
+// in [0, 1], 1 for identical frames.
+func DiffSimilarity(a, b *video.Frame) (float64, error) {
+	mad, err := MeanAbsDiff(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - mad/255, nil
+}
+
+// Matrix fills the n-by-n frame-differencing similarity matrix for a
+// frame sequence, normalized so that the most dissimilar pair scores 0
+// and identical frames score 1 — the "normalized similarity" of the
+// paper's Fig. 4/5 green curves and right-hand rectangles.
+func Matrix(frames []*video.Frame) ([][]float64, error) {
+	n := len(frames)
+	m := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range m {
+		m[i], backing = backing[:n:n], backing[n:]
+	}
+	maxMAD := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mad, err := MeanAbsDiff(frames[i], frames[j])
+			if err != nil {
+				return nil, err
+			}
+			m[i][j] = mad
+			m[j][i] = mad
+			if mad > maxMAD {
+				maxMAD = mad
+			}
+		}
+	}
+	for i := range m {
+		m[i][i] = 1
+		for j := range m[i] {
+			if i != j {
+				if maxMAD > 0 {
+					m[i][j] = 1 - m[i][j]/maxMAD
+				} else {
+					m[i][j] = 1
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// NormalizedSeries converts a mean-absolute-difference series against a
+// reference frame into the normalized similarity series plotted in
+// Fig. 4: 1 at zero difference, 0 at the series maximum.
+func NormalizedSeries(ref *video.Frame, frames []*video.Frame) ([]float64, error) {
+	mads := make([]float64, len(frames))
+	maxMAD := 0.0
+	for i, f := range frames {
+		mad, err := MeanAbsDiff(ref, f)
+		if err != nil {
+			return nil, err
+		}
+		mads[i] = mad
+		if mad > maxMAD {
+			maxMAD = mad
+		}
+	}
+	out := make([]float64, len(frames))
+	for i, mad := range mads {
+		if maxMAD > 0 {
+			out[i] = 1 - mad/maxMAD
+		} else {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// Histogram is a 64-bin global intensity histogram descriptor,
+// L1-normalized — the "global feature" class of content descriptor
+// (Section VIII, Multimedia Descriptors).
+type Histogram [64]float32
+
+// ExtractHistogram computes the descriptor for a frame.
+func ExtractHistogram(f *video.Frame) Histogram {
+	var counts [64]int
+	for _, p := range f.Pix {
+		counts[p>>2]++
+	}
+	var h Histogram
+	n := float32(len(f.Pix))
+	for i, c := range counts {
+		h[i] = float32(c) / n
+	}
+	return h
+}
+
+// Similarity returns 1 minus half the L1 distance between two
+// L1-normalized histograms — the histogram-intersection similarity,
+// in [0, 1].
+func (h Histogram) Similarity(o Histogram) float64 {
+	var l1 float64
+	for i := range h {
+		l1 += math.Abs(float64(h[i] - o[i]))
+	}
+	return 1 - l1/2
+}
+
+// SizeBytes returns the descriptor's wire size.
+func (h Histogram) SizeBytes() int { return len(h) * 4 }
+
+// BlockGrid is the block-mean layout used by BlockMean descriptors.
+const BlockGrid = 8
+
+// BlockMean is an 8x8 grid of block intensity means — a coarse spatial
+// layout descriptor in the spirit of GIST/HLAC global features.
+type BlockMean [BlockGrid * BlockGrid]uint8
+
+// ExtractBlockMean computes the descriptor for a frame.
+func ExtractBlockMean(f *video.Frame) BlockMean {
+	var out BlockMean
+	bw := f.W / BlockGrid
+	bh := f.H / BlockGrid
+	if bw == 0 || bh == 0 {
+		return out
+	}
+	for by := 0; by < BlockGrid; by++ {
+		for bx := 0; bx < BlockGrid; bx++ {
+			var sum uint64
+			for y := by * bh; y < (by+1)*bh; y++ {
+				row := f.Pix[y*f.W : y*f.W+f.W]
+				for x := bx * bw; x < (bx+1)*bw; x++ {
+					sum += uint64(row[x])
+				}
+			}
+			out[by*BlockGrid+bx] = uint8(sum / uint64(bw*bh))
+		}
+	}
+	return out
+}
+
+// Similarity returns 1 - mean absolute block difference / 255, in [0, 1].
+func (b BlockMean) Similarity(o BlockMean) float64 {
+	var sum int
+	for i := range b {
+		d := int(b[i]) - int(o[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return 1 - float64(sum)/float64(len(b))/255
+}
+
+// SizeBytes returns the descriptor's wire size.
+func (b BlockMean) SizeBytes() int { return len(b) }
+
+// MatrixParallel is Matrix with the pair computations fanned out over
+// workers goroutines (0 selects GOMAXPROCS). Frame differencing over an
+// n-frame sequence is n(n-1)/2 independent full-frame scans — perfectly
+// parallel work, and the dominant cost of regenerating Fig. 5.
+func MatrixParallel(frames []*video.Frame, workers int) ([][]float64, error) {
+	n := len(frames)
+	if n == 0 {
+		return nil, nil
+	}
+	for _, f := range frames[1:] {
+		if f.W != frames[0].W || f.H != frames[0].H {
+			return nil, fmt.Errorf("cvision: frame sizes differ")
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range m {
+		m[i], backing = backing[:n:n], backing[n:]
+	}
+	// Static row partitioning: worker w takes rows i with i % workers == w.
+	// Row i costs (n-i-1) pairs, so interleaving balances the triangle.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				for j := i + 1; j < n; j++ {
+					mad, err := MeanAbsDiff(frames[i], frames[j])
+					if err != nil {
+						return // sizes pre-validated; unreachable
+					}
+					m[i][j] = mad
+					m[j][i] = mad
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	maxMAD := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m[i][j] > maxMAD {
+				maxMAD = m[i][j]
+			}
+		}
+	}
+	for i := range m {
+		m[i][i] = 1
+		for j := range m[i] {
+			if i != j {
+				if maxMAD > 0 {
+					m[i][j] = 1 - m[i][j]/maxMAD
+				} else {
+					m[i][j] = 1
+				}
+			}
+		}
+	}
+	return m, nil
+}

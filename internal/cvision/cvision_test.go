@@ -1,0 +1,285 @@
+package cvision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fovr/internal/video"
+)
+
+func noiseFrame(rng *rand.Rand, w, h int) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := video.NewFrame(4, 4)
+	b := video.NewFrame(4, 4)
+	mad, err := MeanAbsDiff(a, b)
+	if err != nil || mad != 0 {
+		t.Fatalf("identical frames: mad=%v err=%v", mad, err)
+	}
+	b.Fill(10)
+	mad, err = MeanAbsDiff(a, b)
+	if err != nil || mad != 10 {
+		t.Fatalf("uniform +10 frames: mad=%v err=%v", mad, err)
+	}
+	// Sign-insensitive.
+	mad2, _ := MeanAbsDiff(b, a)
+	if mad2 != mad {
+		t.Fatal("MeanAbsDiff not symmetric")
+	}
+}
+
+func TestMeanAbsDiffSizeMismatch(t *testing.T) {
+	a := video.NewFrame(4, 4)
+	b := video.NewFrame(5, 4)
+	if _, err := MeanAbsDiff(a, b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := DiffSimilarity(a, b); err == nil {
+		t.Fatal("DiffSimilarity size mismatch accepted")
+	}
+}
+
+func TestDiffSimilarityBounds(t *testing.T) {
+	a := video.NewFrame(4, 4)
+	sim, err := DiffSimilarity(a, a)
+	if err != nil || sim != 1 {
+		t.Fatalf("self similarity = %v, err %v", sim, err)
+	}
+	b := video.NewFrame(4, 4)
+	b.Fill(255)
+	sim, err = DiffSimilarity(a, b)
+	if err != nil || sim != 0 {
+		t.Fatalf("max-contrast similarity = %v, err %v", sim, err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	frames := []*video.Frame{
+		noiseFrame(rng, 8, 8),
+		noiseFrame(rng, 8, 8),
+		noiseFrame(rng, 8, 8),
+	}
+	m, err := Matrix(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSeen := 2.0
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Fatalf("diagonal m[%d][%d] = %v", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+			if m[i][j] < 0 || m[i][j] > 1 {
+				t.Fatalf("entry out of range: %v", m[i][j])
+			}
+			if i != j && m[i][j] < minSeen {
+				minSeen = m[i][j]
+			}
+		}
+	}
+	if minSeen != 0 {
+		t.Fatalf("normalization must map the worst pair to 0, got %v", minSeen)
+	}
+}
+
+func TestMatrixIdenticalFrames(t *testing.T) {
+	f := video.NewFrame(8, 8)
+	m, err := Matrix([]*video.Frame{f, f.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 1 {
+		t.Fatalf("identical frames normalized to %v, want 1", m[0][1])
+	}
+}
+
+func TestNormalizedSeries(t *testing.T) {
+	base := video.NewFrame(8, 8)
+	mid := video.NewFrame(8, 8)
+	mid.Fill(100)
+	far := video.NewFrame(8, 8)
+	far.Fill(200)
+	s, err := NormalizedSeries(base, []*video.Frame{base.Clone(), mid, far})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 1 {
+		t.Fatalf("series[0] = %v, want 1", s[0])
+	}
+	if s[2] != 0 {
+		t.Fatalf("series[max] = %v, want 0", s[2])
+	}
+	if s[1] <= s[2] || s[1] >= s[0] {
+		t.Fatalf("series not monotone: %v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := noiseFrame(rng, 64, 64)
+	h := ExtractHistogram(f)
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative bin")
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("histogram sums to %v, want 1", sum)
+	}
+	if got := h.Similarity(h); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	dark := video.NewFrame(64, 64)
+	bright := video.NewFrame(64, 64)
+	bright.Fill(255)
+	hd, hb := ExtractHistogram(dark), ExtractHistogram(bright)
+	if got := hd.Similarity(hb); got != 0 {
+		t.Fatalf("disjoint histograms similarity = %v, want 0", got)
+	}
+	if h.SizeBytes() != 256 {
+		t.Fatalf("SizeBytes = %d", h.SizeBytes())
+	}
+}
+
+func TestBlockMean(t *testing.T) {
+	// A frame with a bright left half and dark right half.
+	f := video.NewFrame(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 32; x++ {
+			f.Set(x, y, 200)
+		}
+	}
+	b := ExtractBlockMean(f)
+	if b[0] != 200 || b[BlockGrid-1] != 0 {
+		t.Fatalf("block means wrong: left=%d right=%d", b[0], b[BlockGrid-1])
+	}
+	if got := b.Similarity(b); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	var dark BlockMean
+	if got := b.Similarity(dark); got >= 1 || got < 0 {
+		t.Fatalf("cross similarity = %v", got)
+	}
+	if b.SizeBytes() != 64 {
+		t.Fatalf("SizeBytes = %d", b.SizeBytes())
+	}
+	// Tiny frames degrade gracefully.
+	tiny := ExtractBlockMean(video.NewFrame(4, 4))
+	_ = tiny
+}
+
+func TestSegmentByDiffStaticVideo(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	frames := []*video.Frame{f, f.Clone(), f.Clone(), f.Clone()}
+	segs, err := SegmentByDiff(frames, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].StartIndex != 0 || segs[0].EndIndex != 3 {
+		t.Fatalf("static video segmented as %+v", segs)
+	}
+}
+
+func TestSegmentByDiffSplits(t *testing.T) {
+	dark := video.NewFrame(16, 16)
+	bright := video.NewFrame(16, 16)
+	bright.Fill(255)
+	frames := []*video.Frame{dark, dark.Clone(), bright, bright.Clone(), dark.Clone()}
+	segs, err := SegmentByDiff(frames, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SegmentResult{{0, 1}, {2, 3}, {4, 4}}
+	if len(segs) != len(want) {
+		t.Fatalf("got %+v, want %+v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestSegmentByDiffPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	frames := make([]*video.Frame, 40)
+	for i := range frames {
+		frames[i] = noiseFrame(rng, 8, 8)
+	}
+	segs, err := SegmentByDiff(frames, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for _, s := range segs {
+		if s.StartIndex != next || s.EndIndex < s.StartIndex {
+			t.Fatalf("segments not a partition: %+v", segs)
+		}
+		next = s.EndIndex + 1
+	}
+	if next != len(frames) {
+		t.Fatalf("segments cover %d of %d frames", next, len(frames))
+	}
+}
+
+func TestSegmentByDiffValidation(t *testing.T) {
+	if _, err := SegmentByDiff(nil, 0.5); err != nil {
+		t.Fatal("empty input should be fine")
+	}
+	f := video.NewFrame(4, 4)
+	for _, th := range []float64{0, -1, 1.5} {
+		if _, err := SegmentByDiff([]*video.Frame{f}, th); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+	mixed := []*video.Frame{video.NewFrame(4, 4), video.NewFrame(5, 5)}
+	if _, err := SegmentByDiff(mixed, 0.5); err == nil {
+		t.Fatal("mixed-resolution input accepted")
+	}
+}
+
+func TestMatrixParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	frames := make([]*video.Frame, 17)
+	for i := range frames {
+		frames[i] = noiseFrame(rng, 24, 16)
+	}
+	want, err := Matrix(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := MatrixParallel(frames, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: (%d,%d) %v vs %v", workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	// Edge cases.
+	if m, err := MatrixParallel(nil, 4); err != nil || m != nil {
+		t.Fatalf("empty input: %v %v", m, err)
+	}
+	mixed := []*video.Frame{video.NewFrame(4, 4), video.NewFrame(5, 5)}
+	if _, err := MatrixParallel(mixed, 4); err == nil {
+		t.Fatal("mixed sizes accepted")
+	}
+}

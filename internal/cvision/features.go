@@ -1,0 +1,193 @@
+package cvision
+
+import (
+	"math/bits"
+	"sort"
+
+	"fovr/internal/video"
+)
+
+// This file implements the "local feature" class of content descriptor
+// (Section VIII: SIFT and its variants) at laptop scale: Harris corner
+// detection plus a BRIEF-style binary patch descriptor with Hamming
+// matching. It exists to put real numbers behind the paper's claim that
+// local features are the heaviest descriptor class — per-frame extraction
+// walks every pixel several times and produces kilobytes, versus the
+// FoV's ~20 bytes per *segment*.
+
+// Corner is a detected interest point with its Harris response.
+type Corner struct {
+	X, Y     int
+	Response float64
+}
+
+// patchRadius is the descriptor sampling radius; corners closer than this
+// to the border are discarded.
+const patchRadius = 8
+
+// harrisK is the standard Harris trace weight.
+const harrisK = 0.05
+
+// Corners runs Harris corner detection: Sobel gradients, windowed second
+// moment matrix, response map, 3x3 non-maximum suppression, top-N by
+// response.
+func Corners(f *video.Frame, maxCorners int) []Corner {
+	if maxCorners <= 0 || f.W < 2*patchRadius+3 || f.H < 2*patchRadius+3 {
+		return nil
+	}
+	w, h := f.W, f.H
+	ix := make([]float64, w*h)
+	iy := make([]float64, w*h)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			// Sobel.
+			gx := -int(f.At(x-1, y-1)) + int(f.At(x+1, y-1)) +
+				-2*int(f.At(x-1, y)) + 2*int(f.At(x+1, y)) +
+				-int(f.At(x-1, y+1)) + int(f.At(x+1, y+1))
+			gy := -int(f.At(x-1, y-1)) - 2*int(f.At(x, y-1)) - int(f.At(x+1, y-1)) +
+				int(f.At(x-1, y+1)) + 2*int(f.At(x, y+1)) + int(f.At(x+1, y+1))
+			ix[y*w+x] = float64(gx)
+			iy[y*w+x] = float64(gy)
+		}
+	}
+	// Harris response with a 3x3 structure window.
+	resp := make([]float64, w*h)
+	for y := 2; y < h-2; y++ {
+		for x := 2; x < w-2; x++ {
+			var sxx, syy, sxy float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					gx := ix[(y+dy)*w+x+dx]
+					gy := iy[(y+dy)*w+x+dx]
+					sxx += gx * gx
+					syy += gy * gy
+					sxy += gx * gy
+				}
+			}
+			det := sxx*syy - sxy*sxy
+			trace := sxx + syy
+			resp[y*w+x] = det - harrisK*trace*trace
+		}
+	}
+	// Non-max suppression + border margin.
+	var out []Corner
+	for y := patchRadius + 1; y < h-patchRadius-1; y++ {
+		for x := patchRadius + 1; x < w-patchRadius-1; x++ {
+			r := resp[y*w+x]
+			if r <= 0 {
+				continue
+			}
+			// 3x3 non-max suppression; exact ties (plateaus, common on
+			// synthetic images) are broken lexicographically so one
+			// pixel of each plateau survives.
+			isMax := true
+			for dy := -1; dy <= 1 && isMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					n := resp[(y+dy)*w+x+dx]
+					if n > r || (n == r && (dy < 0 || (dy == 0 && dx < 0))) {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				out = append(out, Corner{X: x, Y: y, Response: r})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Response > out[j].Response })
+	if len(out) > maxCorners {
+		out = out[:maxCorners]
+	}
+	return out
+}
+
+// LocalDescriptor is a 256-bit BRIEF-style binary patch descriptor.
+type LocalDescriptor [32]byte
+
+// LocalDescriptorBytes is the wire size of one keypoint descriptor
+// (excluding its coordinates).
+const LocalDescriptorBytes = 32
+
+// Similarity returns 1 - normalized Hamming distance, in [0, 1].
+func (d LocalDescriptor) Similarity(o LocalDescriptor) float64 {
+	dist := 0
+	for i := range d {
+		dist += bits.OnesCount8(d[i] ^ o[i])
+	}
+	return 1 - float64(dist)/256
+}
+
+// briefPairs are the fixed pseudo-random sample-point pairs, generated
+// once from a SplitMix64 stream so extraction is deterministic.
+var briefPairs = func() [256][4]int8 {
+	var pairs [256][4]int8
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() int8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return int8(int(z%uint64(2*patchRadius+1)) - patchRadius)
+	}
+	for i := range pairs {
+		pairs[i] = [4]int8{next(), next(), next(), next()}
+	}
+	return pairs
+}()
+
+// Feature is a keypoint plus its descriptor.
+type Feature struct {
+	X, Y int
+	Desc LocalDescriptor
+}
+
+// ExtractFeatures detects up to maxCorners Harris corners and describes
+// each with a binary patch descriptor.
+func ExtractFeatures(f *video.Frame, maxCorners int) []Feature {
+	corners := Corners(f, maxCorners)
+	out := make([]Feature, len(corners))
+	for i, c := range corners {
+		var d LocalDescriptor
+		for b, p := range briefPairs {
+			a := f.At(c.X+int(p[0]), c.Y+int(p[1]))
+			bb := f.At(c.X+int(p[2]), c.Y+int(p[3]))
+			if a > bb {
+				d[b/8] |= 1 << (b % 8)
+			}
+		}
+		out[i] = Feature{X: c.X, Y: c.Y, Desc: d}
+	}
+	return out
+}
+
+// MatchSimilarity scores two feature sets in [0, 1]: for each feature of
+// the smaller set, greedily find its best Hamming match in the other and
+// average the match qualities. Empty sets score 0 against anything
+// non-empty and 1 against each other.
+func MatchSimilarity(a, b []Feature) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	sum := 0.0
+	for _, fa := range a {
+		best := 0.0
+		for _, fb := range b {
+			if s := fa.Desc.Similarity(fb.Desc); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a))
+}

@@ -1,0 +1,135 @@
+package cvision
+
+import (
+	"testing"
+
+	"fovr/internal/render"
+	"fovr/internal/video"
+	"fovr/internal/world"
+)
+
+// checkerFrame draws a frame with strong corners at known positions.
+func checkerFrame(w, h, cell int) *video.Frame {
+	f := video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x/cell+y/cell)%2 == 0 {
+				f.Set(x, y, 220)
+			} else {
+				f.Set(x, y, 30)
+			}
+		}
+	}
+	return f
+}
+
+func TestCornersOnCheckerboard(t *testing.T) {
+	f := checkerFrame(96, 96, 16)
+	corners := Corners(f, 100)
+	if len(corners) < 10 {
+		t.Fatalf("found only %d corners on a checkerboard", len(corners))
+	}
+	// Every detected corner must sit near a cell intersection (multiple
+	// of 16 in both axes, within the 3x3 suppression slack).
+	for _, c := range corners {
+		dx := c.X % 16
+		dy := c.Y % 16
+		if dx > 8 {
+			dx = 16 - dx
+		}
+		if dy > 8 {
+			dy = 16 - dy
+		}
+		if dx > 2 || dy > 2 {
+			t.Fatalf("corner at (%d,%d) not at a checker intersection", c.X, c.Y)
+		}
+	}
+	// Sorted by response.
+	for i := 1; i < len(corners); i++ {
+		if corners[i].Response > corners[i-1].Response {
+			t.Fatal("corners not sorted by response")
+		}
+	}
+}
+
+func TestCornersFlatImage(t *testing.T) {
+	f := video.NewFrame(64, 64)
+	f.Fill(128)
+	if got := Corners(f, 50); len(got) != 0 {
+		t.Fatalf("flat image produced %d corners", len(got))
+	}
+}
+
+func TestCornersEdgeCases(t *testing.T) {
+	if got := Corners(checkerFrame(96, 96, 16), 0); got != nil {
+		t.Fatal("maxCorners=0 returned corners")
+	}
+	tiny := video.NewFrame(8, 8)
+	if got := Corners(tiny, 10); got != nil {
+		t.Fatal("frame smaller than patch produced corners")
+	}
+	got := Corners(checkerFrame(96, 96, 16), 5)
+	if len(got) != 5 {
+		t.Fatalf("maxCorners=5 returned %d", len(got))
+	}
+}
+
+func TestDescriptorSimilarity(t *testing.T) {
+	var a, b LocalDescriptor
+	if got := a.Similarity(a); got != 1 {
+		t.Fatalf("self similarity %v", got)
+	}
+	for i := range b {
+		b[i] = 0xFF
+	}
+	if got := a.Similarity(b); got != 0 {
+		t.Fatalf("opposite similarity %v", got)
+	}
+	b[0] = 0xFE // 255 differing bits
+	if got := a.Similarity(b); got != 1-255.0/256 {
+		t.Fatalf("near-opposite similarity %v", got)
+	}
+}
+
+func TestExtractFeaturesDeterministic(t *testing.T) {
+	f := checkerFrame(128, 96, 16)
+	a := ExtractFeatures(f, 40)
+	b := ExtractFeatures(f, 40)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+}
+
+func TestMatchSimilarityBehaviour(t *testing.T) {
+	res := video.Resolution{Name: "t", W: 160, H: 90}
+	r := render.New(world.Default, render.DefaultCamera)
+	fa, fb, fc := res.New(), res.New(), res.New()
+	r.Render(render.Pose{AzimuthDeg: 0}, fa)
+	r.Render(render.Pose{AzimuthDeg: 4}, fb)   // mostly the same scene
+	r.Render(render.Pose{AzimuthDeg: 180}, fc) // opposite scene
+
+	a := ExtractFeatures(fa, 60)
+	b := ExtractFeatures(fb, 60)
+	c := ExtractFeatures(fc, 60)
+	if len(a) == 0 || len(b) == 0 || len(c) == 0 {
+		t.Fatalf("feature counts %d/%d/%d", len(a), len(b), len(c))
+	}
+	self := MatchSimilarity(a, a)
+	near := MatchSimilarity(a, b)
+	far := MatchSimilarity(a, c)
+	if self != 1 {
+		t.Fatalf("self match %v", self)
+	}
+	if !(near > far) {
+		t.Fatalf("similar view match %v not above opposite view %v", near, far)
+	}
+	// Empty-set conventions.
+	if MatchSimilarity(nil, nil) != 1 || MatchSimilarity(nil, a) != 0 {
+		t.Fatal("empty-set conventions broken")
+	}
+}

@@ -1,0 +1,88 @@
+package cvision
+
+import (
+	"fmt"
+	"math"
+
+	"fovr/internal/video"
+)
+
+// Pan estimation: the inverse bridge between the CV world and the FoV
+// world. The FoV pipeline trusts the compass; this estimator recovers the
+// camera's horizontal rotation between two frames from pixels alone — the
+// classic global-alignment reduction of optical flow — so a deployment
+// can cross-validate a suspect compass (or substitute for one) at the
+// cost of actually touching every pixel, which is exactly the trade the
+// paper is about.
+
+// EstimatePanPixels returns the horizontal shift in pixels that best
+// aligns frame b to frame a (positive = the scene moved left, i.e. the
+// camera panned right), searching shifts in [-maxShift, maxShift] by
+// minimizing mean absolute difference over the overlapping columns of the
+// upper half of the frame (the backdrop band, which moves rigidly under
+// pan; the ground rows don't).
+func EstimatePanPixels(a, b *video.Frame, maxShift int) (int, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("cvision: frame sizes differ")
+	}
+	if maxShift <= 0 || maxShift >= a.W/2 {
+		return 0, fmt.Errorf("cvision: maxShift %d out of (0, W/2)", maxShift)
+	}
+	h := a.H / 2 // upper half only
+	bestShift := 0
+	bestMAD := math.Inf(1)
+	for shift := -maxShift; shift <= maxShift; shift++ {
+		var sum, count int64
+		for y := 0; y < h; y++ {
+			rowA := a.Pix[y*a.W : y*a.W+a.W]
+			rowB := b.Pix[y*b.W : y*b.W+b.W]
+			x0 := 0
+			if shift > 0 {
+				x0 = shift
+			}
+			x1 := a.W
+			if shift < 0 {
+				x1 = a.W + shift
+			}
+			for x := x0; x < x1; x++ {
+				d := int(rowA[x]) - int(rowB[x-shift])
+				if d < 0 {
+					d = -d
+				}
+				sum += int64(d)
+			}
+			count += int64(x1 - x0)
+		}
+		if count == 0 {
+			continue
+		}
+		mad := float64(sum) / float64(count)
+		if mad < bestMAD {
+			bestMAD = mad
+			bestShift = shift
+		}
+	}
+	return bestShift, nil
+}
+
+// EstimatePanDegrees converts the pixel shift between two frames into the
+// camera rotation in degrees, given the camera's full horizontal field of
+// view. Positive means the camera turned clockwise (to the right).
+func EstimatePanDegrees(a, b *video.Frame, hfovDeg float64, maxShiftDeg float64) (float64, error) {
+	if hfovDeg <= 0 || hfovDeg >= 180 {
+		return 0, fmt.Errorf("cvision: hfov %v out of (0, 180)", hfovDeg)
+	}
+	focal := float64(a.W) / 2 / math.Tan(hfovDeg/2*math.Pi/180)
+	maxShift := int(focal * math.Tan(maxShiftDeg*math.Pi/180))
+	if maxShift < 1 {
+		maxShift = 1
+	}
+	if maxShift >= a.W/2 {
+		maxShift = a.W/2 - 1
+	}
+	px, err := EstimatePanPixels(a, b, maxShift)
+	if err != nil {
+		return 0, err
+	}
+	return math.Atan2(float64(px), focal) * 180 / math.Pi, nil
+}

@@ -1,0 +1,92 @@
+package cvision
+
+import (
+	"math"
+	"testing"
+
+	"fovr/internal/render"
+	"fovr/internal/video"
+	"fovr/internal/world"
+)
+
+func rotatedPair(t *testing.T, deg float64) (*video.Frame, *video.Frame) {
+	t.Helper()
+	res := video.Resolution{Name: "flow", W: 320, H: 180}
+	r := render.New(world.World{Seed: 21}, render.DefaultCamera)
+	a, b := res.New(), res.New()
+	r.Render(render.Pose{East: 3, North: 7, AzimuthDeg: 50}, a)
+	r.Render(render.Pose{East: 3, North: 7, AzimuthDeg: 50 + deg}, b)
+	return a, b
+}
+
+func TestEstimatePanRecoversRotation(t *testing.T) {
+	for _, deg := range []float64{-8, -3, 0, 2, 5, 10} {
+		a, b := rotatedPair(t, deg)
+		got, err := EstimatePanDegrees(a, b, render.DefaultCamera.HFovDeg, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-deg) > 1.0 {
+			t.Fatalf("true pan %v°, estimated %v°", deg, got)
+		}
+	}
+}
+
+func TestEstimatePanIdenticalFrames(t *testing.T) {
+	a, _ := rotatedPair(t, 0)
+	got, err := EstimatePanPixels(a, a.Clone(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("identical frames estimated shift %d", got)
+	}
+}
+
+func TestEstimatePanValidation(t *testing.T) {
+	a := video.NewFrame(64, 36)
+	b := video.NewFrame(32, 36)
+	if _, err := EstimatePanPixels(a, b, 10); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	c := video.NewFrame(64, 36)
+	if _, err := EstimatePanPixels(a, c, 0); err == nil {
+		t.Fatal("zero maxShift accepted")
+	}
+	if _, err := EstimatePanPixels(a, c, 40); err == nil {
+		t.Fatal("maxShift >= W/2 accepted")
+	}
+	if _, err := EstimatePanDegrees(a, c, 0, 5); err == nil {
+		t.Fatal("zero hfov accepted")
+	}
+	if _, err := EstimatePanDegrees(a, c, 60, 0.0001); err != nil {
+		t.Fatal("tiny maxShiftDeg must clamp to 1 px, not fail:", err)
+	}
+}
+
+// TestPanCrossValidatesCompass is the integration the estimator exists
+// for: across a rendered pan sequence, cumulative pixel-estimated
+// rotation must track the (ground-truth) compass trace.
+func TestPanCrossValidatesCompass(t *testing.T) {
+	res := video.Resolution{Name: "flow", W: 320, H: 180}
+	r := render.New(world.World{Seed: 22}, render.DefaultCamera)
+	const step = 3.0 // degrees per frame
+	var frames []*video.Frame
+	for i := 0; i < 12; i++ {
+		f := res.New()
+		r.Render(render.Pose{AzimuthDeg: float64(i) * step}, f)
+		frames = append(frames, f)
+	}
+	total := 0.0
+	for i := 1; i < len(frames); i++ {
+		d, err := EstimatePanDegrees(frames[i-1], frames[i], render.DefaultCamera.HFovDeg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	want := step * float64(len(frames)-1)
+	if math.Abs(total-want) > 3 {
+		t.Fatalf("cumulative estimated pan %v°, compass says %v°", total, want)
+	}
+}

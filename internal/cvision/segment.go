@@ -1,0 +1,44 @@
+package cvision
+
+import (
+	"fmt"
+
+	"fovr/internal/video"
+)
+
+// SegmentResult is one content-coherent run of frames found by the CV
+// segmenter, as inclusive frame indices.
+type SegmentResult struct {
+	StartIndex, EndIndex int
+}
+
+// SegmentByDiff is the content-based counterpart of Algorithm 1: it walks
+// the frame sequence and starts a new segment whenever the
+// frame-differencing similarity between the segment's anchor frame and
+// the current frame drops below threshold. It exists as the cost baseline
+// for Fig. 6(a): identical control flow to the FoV segmenter, but each
+// step touches every pixel of two frames instead of two 3-tuples.
+func SegmentByDiff(frames []*video.Frame, threshold float64) ([]SegmentResult, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("cvision: threshold %v out of range (0, 1]", threshold)
+	}
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	var out []SegmentResult
+	start := 0
+	anchor := frames[0]
+	for i := 1; i < len(frames); i++ {
+		sim, err := DiffSimilarity(anchor, frames[i])
+		if err != nil {
+			return nil, err
+		}
+		if sim < threshold {
+			out = append(out, SegmentResult{StartIndex: start, EndIndex: i - 1})
+			start = i
+			anchor = frames[i]
+		}
+	}
+	out = append(out, SegmentResult{StartIndex: start, EndIndex: len(frames) - 1})
+	return out, nil
+}

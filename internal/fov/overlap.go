@@ -1,0 +1,139 @@
+package fov
+
+import (
+	"math"
+
+	"fovr/internal/geo"
+)
+
+// This file provides the *exact* geometric alternative to the paper's
+// closed-form similarity: the overlap area of the two viewable sectors,
+// computed by polygon clipping. The paper's Sim (Eq. 10) is a cheap
+// closed-form surrogate for exactly this quantity; OverlapSim exists so
+// the surrogate's fidelity can be measured (see the ablation benchmarks)
+// and as a drop-in high-accuracy measurement for offline use. It is two
+// orders of magnitude more expensive than Sim, which is the paper's
+// point.
+
+// sectorArcPoints is the polygonization resolution of the sector arc.
+const sectorArcPoints = 24
+
+// sectorPolygon approximates the viewable sector of f as a convex
+// polygon in local east-north meters relative to origin.
+func sectorPolygon(c Camera, f FoV, origin geo.Point) [][2]float64 {
+	v := geo.Displacement(origin, f.P)
+	apex := [2]float64{v.East, v.North}
+	pts := make([][2]float64, 0, sectorArcPoints+2)
+	pts = append(pts, apex)
+	start := f.Theta - c.HalfAngleDeg
+	span := 2 * c.HalfAngleDeg
+	for i := 0; i <= sectorArcPoints; i++ {
+		az := (start + span*float64(i)/sectorArcPoints) * math.Pi / 180
+		pts = append(pts, [2]float64{
+			apex[0] + c.RadiusMeters*math.Sin(az),
+			apex[1] + c.RadiusMeters*math.Cos(az),
+		})
+	}
+	return pts
+}
+
+// polygonArea returns the absolute shoelace area.
+func polygonArea(p [][2]float64) float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range p {
+		j := (i + 1) % len(p)
+		sum += p[i][0]*p[j][1] - p[j][0]*p[i][1]
+	}
+	return math.Abs(sum) / 2
+}
+
+// clipConvex clips subject against one directed edge (a->b) of a
+// counter-clockwise convex clip polygon (Sutherland-Hodgman step).
+func clipEdge(subject [][2]float64, a, b [2]float64) [][2]float64 {
+	inside := func(p [2]float64) bool {
+		// Left of or on the directed edge a->b.
+		return (b[0]-a[0])*(p[1]-a[1])-(b[1]-a[1])*(p[0]-a[0]) >= 0
+	}
+	intersect := func(p, q [2]float64) [2]float64 {
+		// Line a-b with segment p-q.
+		a1 := b[1] - a[1]
+		b1 := a[0] - b[0]
+		c1 := a1*a[0] + b1*a[1]
+		a2 := q[1] - p[1]
+		b2 := p[0] - q[0]
+		c2 := a2*p[0] + b2*p[1]
+		det := a1*b2 - a2*b1
+		if det == 0 {
+			return p // parallel; degenerate, any point on the edge works
+		}
+		return [2]float64{(b2*c1 - b1*c2) / det, (a1*c2 - a2*c1) / det}
+	}
+	var out [][2]float64
+	for i := range subject {
+		cur := subject[i]
+		prev := subject[(i+len(subject)-1)%len(subject)]
+		switch {
+		case inside(cur) && inside(prev):
+			out = append(out, cur)
+		case inside(cur) && !inside(prev):
+			out = append(out, intersect(prev, cur), cur)
+		case !inside(cur) && inside(prev):
+			out = append(out, intersect(prev, cur))
+		}
+	}
+	return out
+}
+
+// ensureCCW orients a polygon counter-clockwise.
+func ensureCCW(p [][2]float64) [][2]float64 {
+	sum := 0.0
+	for i := range p {
+		j := (i + 1) % len(p)
+		sum += p[i][0]*p[j][1] - p[j][0]*p[i][1]
+	}
+	if sum < 0 {
+		rev := make([][2]float64, len(p))
+		for i := range p {
+			rev[i] = p[len(p)-1-i]
+		}
+		return rev
+	}
+	return p
+}
+
+// intersectConvex returns the intersection polygon of two convex
+// polygons via Sutherland-Hodgman.
+func intersectConvex(subject, clip [][2]float64) [][2]float64 {
+	clip = ensureCCW(clip)
+	out := subject
+	for i := range clip {
+		if len(out) == 0 {
+			return nil
+		}
+		out = clipEdge(out, clip[i], clip[(i+1)%len(clip)])
+	}
+	return out
+}
+
+// OverlapSim is the exact viewable-scene similarity: the area of the
+// intersection of the two sectors divided by the area of one sector
+// (both sectors have equal area, so the measure is symmetric, in [0, 1],
+// and 1 iff the FoVs coincide up to the polygonization resolution).
+func OverlapSim(c Camera, f1, f2 FoV) float64 {
+	origin := f1.P
+	p1 := sectorPolygon(c, f1, origin)
+	p2 := sectorPolygon(c, f2, origin)
+	inter := intersectConvex(p1, p2)
+	sector := polygonArea(p1)
+	if sector == 0 {
+		return 0
+	}
+	sim := polygonArea(inter) / sector
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
+}

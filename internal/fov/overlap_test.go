@@ -1,0 +1,203 @@
+package fov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fovr/internal/geo"
+)
+
+func TestOverlapSimIdentity(t *testing.T) {
+	f := FoV{P: geo.Point{Lat: 40, Lng: 116.3}, Theta: 73}
+	if got := OverlapSim(testCam, f, f); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("OverlapSim(f, f) = %v, want 1", got)
+	}
+}
+
+func TestOverlapSimDisjoint(t *testing.T) {
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	f1 := FoV{P: p, Theta: 0}
+	cases := []FoV{
+		{P: p, Theta: 180},                     // back to back
+		{P: geo.Offset(p, 0, 500), Theta: 0},   // far beyond 2R ahead
+		{P: geo.Offset(p, 90, 300), Theta: 90}, // far to the side
+	}
+	for i, f2 := range cases {
+		if got := OverlapSim(testCam, f1, f2); got != 0 {
+			t.Errorf("case %d: OverlapSim = %v, want 0", i, got)
+		}
+	}
+}
+
+func TestOverlapSimSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	for trial := 0; trial < 200; trial++ {
+		f1 := FoV{P: p, Theta: rng.Float64() * 360}
+		f2 := FoV{
+			P:     geo.Offset(p, rng.Float64()*360, rng.Float64()*150),
+			Theta: rng.Float64() * 360,
+		}
+		a := OverlapSim(testCam, f1, f2)
+		b := OverlapSim(testCam, f2, f1)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("trial %d: asymmetric: %v vs %v", trial, a, b)
+		}
+		if a < 0 || a > 1 {
+			t.Fatalf("trial %d: out of range: %v", trial, a)
+		}
+	}
+}
+
+// TestOverlapSimPureRotationAnalytic: two sectors sharing an apex overlap
+// in exactly the angular intersection, so OverlapSim must equal SimR —
+// the one case where the paper's closed form is exact.
+func TestOverlapSimPureRotationAnalytic(t *testing.T) {
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	for dt := 0.0; dt <= 90; dt += 7.5 {
+		f1 := FoV{P: p, Theta: 20}
+		f2 := FoV{P: p, Theta: 20 + dt}
+		got := OverlapSim(testCam, f1, f2)
+		want := SimR(testCam, dt)
+		if math.Abs(got-want) > 0.02 { // polygonization tolerance
+			t.Fatalf("dt=%v: OverlapSim %v vs SimR %v", dt, got, want)
+		}
+	}
+}
+
+func TestOverlapSimMonotoneUnderTranslation(t *testing.T) {
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	f1 := FoV{P: p, Theta: 0}
+	for _, dir := range []float64{0, 45, 90, 180} {
+		prev := 1.0
+		for d := 10.0; d <= 250; d += 20 {
+			f2 := FoV{P: geo.Offset(p, dir, d), Theta: 0}
+			got := OverlapSim(testCam, f1, f2)
+			if got > prev+1e-6 {
+				t.Fatalf("dir %v: overlap grew with distance at d=%v: %v > %v", dir, d, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestSimTracksOverlapSim quantifies how the paper's closed-form Sim
+// relates to exact sector-area overlap. They measure *different* things
+// by design: Sim's translation term models the shared far-field view
+// (Eq. 5's window: driving 50 m up the road still shows mostly the same
+// distant scene — high content similarity, small ground-area overlap),
+// while OverlapSim measures the covered ground area (the retrieval-side
+// notion). In the capture-motion regime they must agree directionally —
+// positive correlation well clear of noise — and exactly for pure
+// rotation (tested separately); pointwise equality is neither expected
+// nor desirable.
+func TestSimTracksOverlapSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	var cheap, exact []float64
+	for trial := 0; trial < 500; trial++ {
+		theta1 := rng.Float64() * 360
+		f1 := FoV{P: p, Theta: theta1}
+		f2 := FoV{
+			P:     geo.Offset(p, rng.Float64()*360, rng.Float64()*60),
+			Theta: theta1 + (rng.Float64()*2-1)*40, // capture-motion poses
+		}
+		cheap = append(cheap, Sim(testCam, f1, f2))
+		exact = append(exact, OverlapSim(testCam, f1, f2))
+	}
+	r := pearsonOverlap(cheap, exact)
+	if r < 0.5 {
+		t.Fatalf("closed-form Sim correlates with exact overlap only r=%.3f in the capture-motion regime; want >= 0.5", r)
+	}
+	// Both must agree that large Sim implies substantial overlap: among
+	// pairs the cheap measure scores >= 0.7, the exact overlap must be
+	// nonzero every time.
+	for i := range cheap {
+		if cheap[i] >= 0.7 && exact[i] == 0 {
+			t.Fatalf("pair %d: Sim %.3f but zero exact overlap", i, cheap[i])
+		}
+	}
+}
+
+// TestSimOverlapForwardTranslationSemantics pins the deliberate semantic
+// difference: moving forward along the optical axis keeps most of the
+// *view* (Eq. 5's far-field window, hence high Sim) while the covered
+// ground area shrinks like the cone tip. Sim staying well above the area
+// overlap here is correct behaviour, not error.
+func TestSimOverlapForwardTranslationSemantics(t *testing.T) {
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	f1 := FoV{P: p, Theta: 0}
+	f2 := FoV{P: geo.Offset(p, 0, 50), Theta: 0}
+	cheap := Sim(testCam, f1, f2)
+	exact := OverlapSim(testCam, f1, f2)
+	if cheap < 0.6 {
+		t.Fatalf("forward 50 m: Sim = %v, want high (shared far-field view)", cheap)
+	}
+	if exact > 0.35 {
+		t.Fatalf("forward 50 m: exact area overlap = %v, want small (cone-tip geometry)", exact)
+	}
+}
+
+// TestSimOverlapKnownDivergence pins down the closed form's documented
+// limitation: two cameras *facing each other* share most of their
+// viewable area, but the rotation term (angular-range intersection)
+// declares them fully dissimilar. This is by design — Sim drives
+// segmentation of a continuously moving camera, where such poses do not
+// occur between an anchor and its successors — and the retrieval path
+// never compares FoVs pairwise, it tests coverage of a query point.
+func TestSimOverlapKnownDivergence(t *testing.T) {
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	f1 := FoV{P: p, Theta: 0}                      // looking north
+	f2 := FoV{P: geo.Offset(p, 0, 80), Theta: 180} // 80 m ahead, looking back
+	if got := Sim(testCam, f1, f2); got != 0 {
+		t.Fatalf("Sim for facing cameras = %v, want 0 (rotation term)", got)
+	}
+	if got := OverlapSim(testCam, f1, f2); got < 0.2 {
+		t.Fatalf("exact overlap for facing cameras = %v; expected substantial", got)
+	}
+}
+
+func pearsonOverlap(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestPolygonHelpers(t *testing.T) {
+	// Unit square area.
+	sq := [][2]float64{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	if got := polygonArea(sq); got != 1 {
+		t.Fatalf("square area = %v", got)
+	}
+	// Intersection of two overlapping unit squares.
+	sq2 := [][2]float64{{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}}
+	inter := intersectConvex(sq, sq2)
+	if got := polygonArea(inter); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("intersection area = %v, want 0.25", got)
+	}
+	// Disjoint squares intersect in nothing.
+	sq3 := [][2]float64{{5, 5}, {6, 5}, {6, 6}, {5, 6}}
+	if got := polygonArea(intersectConvex(sq, sq3)); got != 0 {
+		t.Fatalf("disjoint intersection area = %v", got)
+	}
+	// Clockwise clip polygon is reoriented.
+	cw := [][2]float64{{0, 1}, {1, 1}, {1, 0}, {0, 0}}
+	if got := polygonArea(intersectConvex(sq2, cw)); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("cw clip intersection = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,232 @@
+package fov
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"fovr/internal/geo"
+)
+
+// This file implements the FoV similarity measurement of Section III.
+//
+// Any rigid camera motion is decomposed (Newtonian-mechanics style, as the
+// paper argues) into a pure rotation and a pure translation:
+//
+//	Sim(f1, f2) = Sim_R(delta_theta) * Sim_T(delta_p, theta_p)   (Eq. 10)
+//
+// Two textual inconsistencies in the paper are resolved here; both
+// resolutions are forced by the paper's own normalization axiom (Eq. 3:
+// Sim(f, f) = 1) and by the boundary behaviour it states in prose:
+//
+//  1. Eq. (7) prints Sim = phi/(2*alpha), but phi equals alpha (not
+//     2*alpha) at zero translation under Eq. (5), which would make the
+//     self-similarity 1/2. The intended reading is that the viewing angle
+//     is narrowed "from 2*alpha to 2*phi", so Sim = 2*phi/(2*alpha) =
+//     phi/alpha. We use phi/alpha.
+//
+//  2. Eq. (6)'s matrix expression for phi_perp is dimensionally garbled,
+//     and evaluating it verbatim contradicts the paper's own prose (it
+//     zeroes at d = R*sin(alpha) instead of the stated 2*R*sin(alpha)).
+//     We rebuild Sim_perp from the far-field window model that makes
+//     Eq. (5) true, in a form that reproduces every property the paper
+//     states for every camera: Sim_perp = 1 at d = 0, it decreases
+//     monotonically, hits exactly 0 at d = 2*R*sin(alpha), and
+//     Sim_parallel >= Sim_perp with equality iff d = 0 (Eq. 8).
+//
+// Far-field window model. Place the camera at the origin facing north.
+// The far boundary of the viewable sector is the chord between
+// A = (-R sin a, R cos a) and B = (R sin a, R cos a); seen from the camera
+// it subtends exactly the full viewing angle 2*alpha.
+//
+//   - Parallel translation (Eq. 5, verbatim): the window recedes by d along
+//     the axis, so the half width becomes
+//     phi_par = atan(R sin a / (d + R cos a)) and
+//     Sim_par = phi_par / alpha.
+//   - Perpendicular translation: the camera slides along the window by d,
+//     so the overlap between the original window [-R sin a, R sin a] and
+//     the translated one [d - R sin a, d + R sin a] shrinks linearly — the
+//     surviving fraction is W(d) = 1 - d/(2 R sin a), reaching 0 exactly
+//     when the windows separate at d = 2*R*sin(alpha). The surviving strip
+//     is additionally seen off-axis, which narrows its subtended angle at
+//     least as much as a recession by the same d narrows the parallel
+//     view. We therefore model
+//     Sim_perp(d) = Sim_par(d) * max(0, W(d)).
+//     The product form makes Eq. (8) structural: Sim_perp < Sim_par for
+//     every d > 0 and every alpha in (0, 90), not just for the narrow
+//     cameras where a purely linear or purely angular model happens to
+//     stay below Eq. (5).
+
+// SimR is the rotation similarity of Eq. (4): the fractional overlap of
+// the two angular ranges when the camera pivots in place by
+// deltaThetaDeg degrees. It is 1 at zero rotation, decreases linearly,
+// and is 0 once the rotation reaches the full viewing angle 2*alpha.
+func SimR(c Camera, deltaThetaDeg float64) float64 {
+	dt := math.Abs(deltaThetaDeg)
+	if dt > 180 {
+		dt = geo.AngleDiff(0, dt)
+	}
+	full := c.ViewingAngleDeg()
+	if dt >= full {
+		return 0
+	}
+	return (full - dt) / full
+}
+
+// SimParallel is the translation similarity when the camera moves along
+// its optical axis by distMeters (theta_p = 0): Eq. (5) with the phi/alpha
+// normalization. It is strictly positive for every finite distance.
+func SimParallel(c Camera, distMeters float64) float64 {
+	if distMeters <= 0 {
+		return 1
+	}
+	a := c.HalfAngleDeg * math.Pi / 180
+	r := c.RadiusMeters
+	phi := math.Atan2(r*math.Sin(a), distMeters+r*math.Cos(a))
+	return phi / a
+}
+
+// SimPerp is the translation similarity when the camera moves
+// perpendicular to its optical axis by distMeters (theta_p = 90). It
+// reaches exactly 0 at d = 2*R*sin(alpha), where the translated sector no
+// longer sees any of the original far-field window, and is strictly below
+// SimParallel for every positive distance (Eq. 8).
+func SimPerp(c Camera, distMeters float64) float64 {
+	if distMeters <= 0 {
+		return 1
+	}
+	a := c.HalfAngleDeg * math.Pi / 180
+	window := 2 * c.RadiusMeters * math.Sin(a)
+	if distMeters >= window {
+		return 0
+	}
+	return SimParallel(c, distMeters) * (1 - distMeters/window)
+}
+
+// foldTranslationAngle maps an arbitrary angle between the translation
+// direction and the camera axis into the blending weight domain [0, 90]:
+// the angle between the translation *line* and the optical *axis line*.
+// Moving straight backward is as parallel as moving straight forward, and
+// sliding left is as perpendicular as sliding right.
+func foldTranslationAngle(angleDeg float64) float64 {
+	a := geo.AngleDiff(0, angleDeg) // [0, 180]
+	if a > 90 {
+		a = 180 - a
+	}
+	return a
+}
+
+// SimTDir is the translation similarity of Eq. (9) for a translation of
+// distMeters in a direction making dirAngleDeg degrees with the camera's
+// optical axis: the linear blend of the parallel and perpendicular
+// extremes weighted by the folded direction angle.
+func SimTDir(c Camera, distMeters, dirAngleDeg float64) float64 {
+	if distMeters <= 0 {
+		return 1
+	}
+	w := foldTranslationAngle(dirAngleDeg) / 90
+	return (1-w)*SimParallel(c, distMeters) + w*SimPerp(c, distMeters)
+}
+
+// SimT computes the translation similarity between two FoVs, treating f2
+// as f1 translated by delta_p in compass direction theta_p; the blending
+// angle is theta_p measured relative to f1's optical axis.
+func SimT(c Camera, f1, f2 FoV) float64 {
+	v := geo.Displacement(f1.P, f2.P)
+	d := v.Norm()
+	if d == 0 {
+		return 1
+	}
+	return SimTDir(c, d, geo.AngleDiff(v.Bearing(), f1.Theta))
+}
+
+// Sim is the full FoV similarity of Eq. (10): the product of the rotation
+// and translation terms. It is symmetric up to the equirectangular
+// approximation, bounded in [0, 1], and equals 1 iff f1 = f2.
+func Sim(c Camera, f1, f2 FoV) float64 {
+	d := DeltaOf(f1, f2)
+	sr := SimR(c, d.RotationDeg)
+	if sr == 0 {
+		return 0
+	}
+	if d.DistMeters == 0 {
+		return sr
+	}
+	st := SimTDir(c, d.DistMeters, geo.AngleDiff(d.DirectionDeg, f1.Theta))
+	return sr * st
+}
+
+// SimDelta computes Eq. (10) directly from a relative pose, for callers
+// (like the theoretical-model benchmarks) that sweep delta space without
+// materializing FoV pairs. dirAngleDeg is theta_p relative to the camera
+// axis.
+func SimDelta(c Camera, deltaThetaDeg, distMeters, dirAngleDeg float64) float64 {
+	sr := SimR(c, deltaThetaDeg)
+	if sr == 0 {
+		return 0
+	}
+	return sr * SimTDir(c, distMeters, dirAngleDeg)
+}
+
+// PerpZeroDistance returns the translation distance at which the
+// perpendicular similarity reaches zero: 2*R*sin(alpha) (Section III-A,
+// statement 2).
+func PerpZeroDistance(c Camera) float64 {
+	return 2 * c.RadiusMeters * math.Sin(c.HalfAngleDeg*math.Pi/180)
+}
+
+// Matrix fills an n-by-n similarity matrix over a sequence of FoVs,
+// m[i][j] = Sim(fs[i], fs[j]). It is the FoV half of the paper's Fig. 5
+// similarity rectangles.
+func Matrix(c Camera, fs []FoV) [][]float64 {
+	n := len(fs)
+	m := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range m {
+		m[i], backing = backing[:n:n], backing[n:]
+	}
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+		for j := i + 1; j < n; j++ {
+			s := Sim(c, fs[i], fs[j])
+			m[i][j] = s
+			m[j][i] = s
+		}
+	}
+	return m
+}
+
+// MatrixParallel is Matrix with the pair computations fanned out over
+// workers goroutines (0 selects GOMAXPROCS). Interleaved row ownership
+// balances the upper-triangle workload.
+func MatrixParallel(c Camera, fs []FoV, workers int) [][]float64 {
+	n := len(fs)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range m {
+		m[i], backing = backing[:n:n], backing[n:]
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				m[i][i] = 1
+				for j := i + 1; j < n; j++ {
+					s := Sim(c, fs[i], fs[j])
+					m[i][j] = s
+					m[j][i] = s
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}

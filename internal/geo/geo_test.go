@@ -1,0 +1,308 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const beijing = 39.9997 // latitude used for most fixtures (Tsinghua campus)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{90.01, 0}, false},
+		{Point{0, 180.01}, false},
+		{Point{math.NaN(), 0}, false},
+		{Point{0, math.NaN()}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	p := Point{beijing, 116.3}
+	if d := Distance(p, p); d != 0 {
+		t.Fatalf("Distance(p,p) = %v, want 0", d)
+	}
+}
+
+func TestDistanceMatchesHaversineSmallScale(t *testing.T) {
+	// For displacements up to a few km the equirectangular distance must
+	// agree with the great-circle distance to well under a meter.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Point{Lat: rng.Float64()*120 - 60, Lng: rng.Float64()*360 - 180}
+		b := Offset(a, rng.Float64()*360, rng.Float64()*2000)
+		de := Distance(a, b)
+		dh := HaversineDistance(a, b)
+		if math.Abs(de-dh) > 0.5 {
+			t.Fatalf("equirect %v vs haversine %v differ too much for %v -> %v", de, dh, a, b)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lng1, bearing, dist float64) bool {
+		a := Point{Lat: math.Mod(lat1, 60), Lng: math.Mod(lng1, 180)}
+		b := Offset(a, math.Mod(bearing, 360), math.Mod(math.Abs(dist), 5000))
+		return almostEqual(Distance(a, b), Distance(b, a), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	// Offset followed by Displacement must recover bearing and distance.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		p := Point{Lat: rng.Float64()*120 - 60, Lng: rng.Float64()*320 - 160}
+		bearing := rng.Float64() * 360
+		dist := 1 + rng.Float64()*1000
+		q := Offset(p, bearing, dist)
+		v := Displacement(p, q)
+		if !almostEqual(v.Norm(), dist, dist*1e-3+0.01) {
+			t.Fatalf("distance round-trip: got %v want %v (p=%v bearing=%v)", v.Norm(), dist, p, bearing)
+		}
+		if AngleDiff(v.Bearing(), bearing) > 0.1 {
+			t.Fatalf("bearing round-trip: got %v want %v (p=%v dist=%v)", v.Bearing(), bearing, p, dist)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	p := Point{beijing, 116.3}
+	cases := []struct {
+		name    string
+		bearing float64
+	}{
+		{"north", 0}, {"east", 90}, {"south", 180}, {"west", 270},
+		{"northeast", 45}, {"southwest", 225},
+	}
+	for _, c := range cases {
+		q := Offset(p, c.bearing, 500)
+		if got := Bearing(p, q); AngleDiff(got, c.bearing) > 0.05 {
+			t.Errorf("%s: Bearing = %v, want %v", c.name, got, c.bearing)
+		}
+	}
+}
+
+func TestVecBearingZero(t *testing.T) {
+	if b := (Vec{}).Bearing(); b != 0 {
+		t.Fatalf("zero vector bearing = %v, want 0", b)
+	}
+}
+
+func TestNormalizeDeg(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {-360, 0}, {720, 0},
+		{361, 1}, {-1, 359}, {-181, 179}, {359.5, 359.5}, {540, 180},
+	}
+	for _, c := range cases {
+		if got := NormalizeDeg(c.in); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("NormalizeDeg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeDegRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		d := NormalizeDeg(x)
+		return d >= 0 && d < 360
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{0, 180, 180},
+		{10, 350, 20},
+		{350, 10, 20},
+		{90, 270, 180},
+		{359, 1, 2},
+		{45, 46, 1},
+		{-10, 10, 20}, // negatives normalized first
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.a, c.b); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiffProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		d := AngleDiff(a, b)
+		// Symmetric, bounded, identity.
+		return d >= 0 && d <= 180 &&
+			almostEqual(d, AngleDiff(b, a), 1e-6) &&
+			almostEqual(AngleDiff(a, a), 0, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 10, 10},
+		{10, 0, -10},
+		{350, 10, 20},
+		{10, 350, -20},
+		{0, 180, 180},
+		{180, 0, 180}, // boundary: +180 preferred over -180
+	}
+	for _, c := range cases {
+		if got := SignedAngleDiff(c.a, c.b); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("SignedAngleDiff(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSignedAngleDiffConsistentWithAngleDiff(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return almostEqual(math.Abs(SignedAngleDiff(a, b)), AngleDiff(a, b), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectAroundContainsCircle(t *testing.T) {
+	p := Point{beijing, 116.3}
+	r := RectAround(p, 100)
+	// Sample the circle boundary; every point must be inside the rect.
+	for deg := 0.0; deg < 360; deg += 5 {
+		q := Offset(p, deg, 100)
+		if !r.Contains(q) {
+			t.Fatalf("rect %v does not contain circle point %v at bearing %v", r, q, deg)
+		}
+	}
+	// And a point 1.5 radii east must be outside.
+	if r.Contains(Offset(p, 90, 150)) {
+		t.Fatal("rect contains point at 1.5r east; box too loose")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{MinLat: 0, MinLng: 0, MaxLat: 1, MaxLng: 1}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{0.5, 0.5, 1.5, 1.5}, true},
+		{Rect{1, 1, 2, 2}, true}, // touching corners count
+		{Rect{1.01, 1.01, 2, 2}, false},
+		{Rect{-1, -1, -0.01, -0.01}, false},
+		{Rect{0.2, 0.2, 0.8, 0.8}, true}, // containment
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects is not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{MinLat: 10, MinLng: 20, MaxLat: 12, MaxLng: 26}
+	c := r.Center()
+	if c.Lat != 11 || c.Lng != 23 {
+		t.Fatalf("Center = %v, want (11, 23)", c)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{10, 20}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp t=0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp t=1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got.Lat != 5 || got.Lng != 10 {
+		t.Errorf("Lerp t=0.5 = %v", got)
+	}
+}
+
+func TestDisplacementAntisymmetric(t *testing.T) {
+	f := func(latSeed, lngSeed, bearing, dist float64) bool {
+		a := Point{Lat: math.Mod(latSeed, 60), Lng: math.Mod(lngSeed, 170)}
+		b := Offset(a, math.Mod(bearing, 360), math.Mod(math.Abs(dist), 3000))
+		v := Displacement(a, b)
+		w := Displacement(b, a)
+		return almostEqual(v.East, -w.East, 1e-6) && almostEqual(v.North, -w.North, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetersPerDegreeValue(t *testing.T) {
+	// 2*pi*6378140/360 ~= 111319.49 m
+	if !almostEqual(MetersPerDegree, 111319.49, 0.1) {
+		t.Fatalf("MetersPerDegree = %v", MetersPerDegree)
+	}
+}
+
+func TestDatelineDisplacement(t *testing.T) {
+	a := Point{Lat: 0, Lng: 179.999}
+	b := Point{Lat: 0, Lng: -179.999}
+	d := Distance(a, b)
+	if d > 1000 {
+		t.Fatalf("antimeridian neighbors %v m apart; wrap broken", d)
+	}
+	if bearing := Bearing(a, b); AngleDiff(bearing, 90) > 1 {
+		t.Fatalf("eastward across the dateline has bearing %v, want ~90", bearing)
+	}
+	if bearing := Bearing(b, a); AngleDiff(bearing, 270) > 1 {
+		t.Fatalf("westward across the dateline has bearing %v, want ~270", bearing)
+	}
+}
+
+func TestOffsetWrapsLongitude(t *testing.T) {
+	p := Point{Lat: 10, Lng: 179.9995}
+	q := Offset(p, 90, 1000) // 1 km east crosses the line
+	if !q.Valid() {
+		t.Fatalf("offset across the dateline produced invalid point %v", q)
+	}
+	if q.Lng > 0 {
+		t.Fatalf("longitude %v did not wrap negative", q.Lng)
+	}
+	// Round trip distance still correct.
+	if d := Distance(p, q); math.Abs(d-1000) > 1 {
+		t.Fatalf("distance across wrap = %v, want ~1000", d)
+	}
+	// Westward too.
+	w := Offset(Point{Lat: -5, Lng: -179.9995}, 270, 1000)
+	if !w.Valid() || w.Lng < 0 {
+		t.Fatalf("westward wrap produced %v", w)
+	}
+}

@@ -1,0 +1,218 @@
+package geotree
+
+import (
+	"math/rand"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/trace"
+)
+
+var cam = fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}
+
+func TestSceneRectContainsSector(t *testing.T) {
+	// The bounding rectangle must contain every point of the sector, for
+	// a spread of orientations including cardinal-crossing ones.
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	for _, theta := range []float64{0, 17, 45, 90, 133, 180, 271, 350} {
+		f := fov.FoV{P: p, Theta: theta}
+		r := SceneRect(cam, f)
+		if !r.Contains(p) {
+			t.Fatalf("theta %v: apex outside rect", theta)
+		}
+		for rel := -cam.HalfAngleDeg; rel <= cam.HalfAngleDeg; rel += 2.5 {
+			for _, dist := range []float64{1, 50, 100} {
+				q := geo.Offset(p, theta+rel, dist)
+				if !r.Contains(q) {
+					t.Fatalf("theta %v: sector point at rel %v dist %v outside rect", theta, rel, dist)
+				}
+			}
+		}
+	}
+}
+
+func TestSceneRectNotWastefullyLarge(t *testing.T) {
+	// The rect should be in the ballpark of the sector size: no larger
+	// than the 2R x 2R square around the apex.
+	p := geo.Point{Lat: 40, Lng: 116.3}
+	r := SceneRect(cam, fov.FoV{P: p, Theta: 45})
+	big := geo.RectAround(p, cam.RadiusMeters*1.05)
+	if r.MinLat < big.MinLat || r.MaxLat > big.MaxLat || r.MinLng < big.MinLng || r.MaxLng > big.MaxLng {
+		t.Fatalf("scene rect %v escapes the %v bound", r, big)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{Camera: fov.Camera{}}); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+	if _, err := New(Options{Camera: cam, GroupSize: -1}); err == nil {
+		t.Fatal("negative group size accepted")
+	}
+	tr, err := New(Options{Camera: cam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.opts.GroupSize != 32 {
+		t.Fatalf("default group size %d", tr.opts.GroupSize)
+	}
+}
+
+func TestAddVideoGrouping(t *testing.T) {
+	tr, err := New(Options{Camera: cam, GroupSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := trace.WalkAhead(trace.DefaultConfig) // 601 frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddVideo("walk", trace.FoVs(samples)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Frames() != 601 {
+		t.Fatalf("Frames = %d", tr.Frames())
+	}
+	if tr.Groups() != 61 { // ceil(601/10)
+		t.Fatalf("Groups = %d, want 61", tr.Groups())
+	}
+}
+
+func TestAddVideoValidation(t *testing.T) {
+	tr, _ := New(Options{Camera: cam})
+	if err := tr.AddVideo("", nil); err == nil {
+		t.Fatal("empty video id accepted")
+	}
+	bad := []fov.FoV{{P: geo.Point{Lat: 99, Lng: 0}}}
+	if err := tr.AddVideo("v", bad); err == nil {
+		t.Fatal("invalid frame accepted")
+	}
+}
+
+func TestSearchFindsCoveringGroups(t *testing.T) {
+	tr, _ := New(Options{Camera: cam, GroupSize: 20})
+	samples, _ := trace.WalkAhead(trace.DefaultConfig)
+	if err := tr.AddVideo("walk", trace.FoVs(samples)); err != nil {
+		t.Fatal(err)
+	}
+	// A spot on the walked street must hit at least one group; a spot
+	// kilometers away must hit none.
+	street := geo.Offset(trace.ScenarioOrigin, 0, 40)
+	if got := tr.Search(geo.RectAround(street, 10)); len(got) == 0 {
+		t.Fatal("no groups cover the walked street")
+	}
+	far := geo.Offset(trace.ScenarioOrigin, 90, 5000)
+	if got := tr.Search(geo.RectAround(far, 10)); len(got) != 0 {
+		t.Fatalf("distant query returned %d groups", len(got))
+	}
+}
+
+// TestNoTemporalDiscrimination pins down the paper's core criticism:
+// GeoTree cannot distinguish captures by time. Two videos shot at the
+// same place on different days both match any query there.
+func TestNoTemporalDiscrimination(t *testing.T) {
+	tr, _ := New(Options{Camera: cam, GroupSize: 20})
+	day1, _ := trace.WalkAhead(trace.Config{SampleHz: 10})
+	day2, _ := trace.WalkAhead(trace.Config{SampleHz: 10, StartMillis: 86_400_000})
+	if err := tr.AddVideo("day1", trace.FoVs(day1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddVideo("day2", trace.FoVs(day2)); err != nil {
+		t.Fatal(err)
+	}
+	street := geo.Offset(trace.ScenarioOrigin, 0, 40)
+	got := tr.Search(geo.RectAround(street, 10))
+	videos := map[string]bool{}
+	for _, g := range got {
+		videos[g.VideoID] = true
+	}
+	if !videos["day1"] || !videos["day2"] {
+		t.Fatalf("expected hits from both days (no temporal axis), got %v", videos)
+	}
+}
+
+func TestGroupFrames(t *testing.T) {
+	g := Group{StartFrame: 10, EndFrame: 19}
+	if g.Frames() != 10 {
+		t.Fatalf("Frames = %d", g.Frames())
+	}
+}
+
+func TestStorageBlowupVsSegments(t *testing.T) {
+	// GeoTree's per-video entry count is frames/groupSize regardless of
+	// motion; the FoV pipeline's is the number of *distinct views*. On a
+	// long stationary capture the difference is dramatic.
+	tr, _ := New(Options{Camera: cam, GroupSize: 32})
+	cfg := trace.Config{SampleHz: 10}
+	stationary, err := trace.RotateInPlace(cfg, trace.ScenarioOrigin, 0, 0, 300) // 5 min, no motion
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddVideo("tripod", trace.FoVs(stationary)); err != nil {
+		t.Fatal(err)
+	}
+	// 3001 frames -> 94 groups for GeoTree; the FoV segmenter produces 1.
+	if tr.Groups() < 90 {
+		t.Fatalf("Groups = %d; fixed-size aggregation should not collapse", tr.Groups())
+	}
+}
+
+func TestSearchRandomizedAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr, _ := New(Options{Camera: cam, GroupSize: 16})
+	type vid struct {
+		id   string
+		fovs []fov.FoV
+	}
+	var vids []vid
+	for v := 0; v < 10; v++ {
+		start := geo.Offset(trace.ScenarioOrigin, rng.Float64()*360, rng.Float64()*2000)
+		samples, err := trace.RandomWalk(trace.Config{SampleHz: 5}, rng, start, 1.4, 8, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := string(rune('a' + v))
+		fovs := trace.FoVs(samples)
+		vids = append(vids, vid{id, fovs})
+		if err := tr.AddVideo(id, fovs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Brute force: recompute group MBRs and intersect.
+	for trial := 0; trial < 30; trial++ {
+		center := geo.Offset(trace.ScenarioOrigin, rng.Float64()*360, rng.Float64()*2000)
+		q := geo.RectAround(center, 50+rng.Float64()*200)
+		want := 0
+		for _, v := range vids {
+			for start := 0; start < len(v.fovs); start += 16 {
+				end := start + 15
+				if end >= len(v.fovs) {
+					end = len(v.fovs) - 1
+				}
+				mbr := SceneRect(cam, v.fovs[start])
+				for i := start + 1; i <= end; i++ {
+					sr := SceneRect(cam, v.fovs[i])
+					if sr.MinLat < mbr.MinLat {
+						mbr.MinLat = sr.MinLat
+					}
+					if sr.MaxLat > mbr.MaxLat {
+						mbr.MaxLat = sr.MaxLat
+					}
+					if sr.MinLng < mbr.MinLng {
+						mbr.MinLng = sr.MinLng
+					}
+					if sr.MaxLng > mbr.MaxLng {
+						mbr.MaxLng = sr.MaxLng
+					}
+				}
+				if q.Intersects(mbr) {
+					want++
+				}
+			}
+		}
+		if got := len(tr.Search(q)); got != want {
+			t.Fatalf("trial %d: got %d groups, brute force says %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package index maintains the cloud server's dynamic spatio-temporal
+// index over representative FoVs (Section V-A).
+//
+// Each representative FoV f_r = (p, theta) with segment interval
+// [t_s, t_e] is stored as the degenerate 3-D rectangle
+//
+//	min[] = [p.Lng, p.Lat, t_s],  max[] = [p.Lng, p.Lat, t_e]
+//
+// — a vertical segment in (longitude, latitude, time) space — inside the
+// R-tree of package rtree. A query range plus time interval becomes a 3-D
+// box and the index returns every representative whose segment intersects
+// it.
+//
+// Two implementations share the Index interface: RTree (the paper's
+// design) and Linear (the naive scan baseline of Fig. 6(c)). Both are safe
+// for concurrent use by many uploaders and queriers.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/rtree"
+	"fovr/internal/segment"
+)
+
+// Entry is one indexed representative FoV along with the identity a
+// retrieval result needs: which provider owns the underlying segment and
+// a server-assigned id to fetch it by.
+type Entry struct {
+	// ID is the server-assigned unique id of the video segment.
+	ID uint64 `json:"id"`
+	// Provider identifies the contributing client.
+	Provider string `json:"provider"`
+	// Rep is the uploaded representative FoV with its time interval.
+	Rep segment.Representative `json:"rep"`
+	// Camera optionally records the contributing device's viewing
+	// geometry (devices differ in viewing angle and usable radius). The
+	// zero value means "unknown — use the deployment default"; the
+	// ranker substitutes its configured camera then.
+	Camera fov.Camera `json:"camera,omitempty"`
+}
+
+// Validate reports whether the entry can be indexed.
+func (e Entry) Validate() error {
+	if err := e.Rep.FoV.Validate(); err != nil {
+		return err
+	}
+	if e.Rep.EndMillis < e.Rep.StartMillis {
+		return fmt.Errorf("index: segment interval inverted [%d, %d]",
+			e.Rep.StartMillis, e.Rep.EndMillis)
+	}
+	if e.Camera != (fov.Camera{}) {
+		if err := e.Camera.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EffectiveCamera returns the entry's own camera, or fallback when the
+// entry carries none.
+func (e Entry) EffectiveCamera(fallback fov.Camera) fov.Camera {
+	if e.Camera != (fov.Camera{}) {
+		return e.Camera
+	}
+	return fallback
+}
+
+// Index is the server-side store of representative FoVs.
+type Index interface {
+	// Insert adds an entry. IDs must be unique; reusing one is an error.
+	Insert(Entry) error
+	// Remove deletes the entry with the given id, reporting whether it
+	// was present.
+	Remove(id uint64) bool
+	// Search returns every entry whose position lies in r and whose
+	// segment interval intersects [startMillis, endMillis]. Order is
+	// unspecified; the ranker sorts.
+	Search(r geo.Rect, startMillis, endMillis int64) []Entry
+	// Len returns the number of stored entries.
+	Len() int
+}
+
+// entryRect maps a representative to its index-space rectangle.
+func entryRect(rep segment.Representative) rtree.Rect {
+	return rtree.Rect{
+		Min: [rtree.Dims]float64{rep.FoV.P.Lng, rep.FoV.P.Lat, float64(rep.StartMillis)},
+		Max: [rtree.Dims]float64{rep.FoV.P.Lng, rep.FoV.P.Lat, float64(rep.EndMillis)},
+	}
+}
+
+// queryRect maps a geographic box plus time interval to index space.
+func queryRect(r geo.Rect, startMillis, endMillis int64) rtree.Rect {
+	return rtree.Rect{
+		Min: [rtree.Dims]float64{r.MinLng, r.MinLat, float64(startMillis)},
+		Max: [rtree.Dims]float64{r.MaxLng, r.MaxLat, float64(endMillis)},
+	}
+}
+
+// RTree is the R-tree-backed index of Section V. The zero value is not
+// usable; construct with NewRTree.
+type RTree struct {
+	mu    sync.RWMutex
+	tree  *rtree.Tree[Entry]
+	rects map[uint64]rtree.Rect
+}
+
+// NewRTree returns an empty R-tree index.
+func NewRTree(opts rtree.Options) (*RTree, error) {
+	t, err := rtree.New[Entry](opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RTree{tree: t, rects: make(map[uint64]rtree.Rect)}, nil
+}
+
+// BulkLoadRTree builds an R-tree index from a complete entry set using
+// STR packing — the fast path for rebuilding an index from a snapshot.
+func BulkLoadRTree(opts rtree.Options, entries []Entry) (*RTree, error) {
+	items := make([]rtree.Item[Entry], len(entries))
+	rects := make(map[uint64]rtree.Rect, len(entries))
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := rects[e.ID]; dup {
+			return nil, fmt.Errorf("index: duplicate id %d", e.ID)
+		}
+		r := entryRect(e.Rep)
+		items[i] = rtree.Item[Entry]{Rect: r, Data: e}
+		rects[e.ID] = r
+	}
+	t, err := rtree.BulkLoad(opts, items)
+	if err != nil {
+		return nil, err
+	}
+	return &RTree{tree: t, rects: rects}, nil
+}
+
+// Insert implements Index.
+func (x *RTree) Insert(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.rects[e.ID]; dup {
+		return fmt.Errorf("index: duplicate id %d", e.ID)
+	}
+	r := entryRect(e.Rep)
+	if err := x.tree.Insert(r, e); err != nil {
+		return err
+	}
+	x.rects[e.ID] = r
+	return nil
+}
+
+// Remove implements Index.
+func (x *RTree) Remove(id uint64) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	r, ok := x.rects[id]
+	if !ok {
+		return false
+	}
+	if !x.tree.Delete(r, func(e Entry) bool { return e.ID == id }) {
+		// The rects map and the tree must agree; disagreement is a bug.
+		panic(fmt.Sprintf("index: id %d tracked but not in tree", id))
+	}
+	delete(x.rects, id)
+	return true
+}
+
+// Search implements Index.
+func (x *RTree) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
+	q := queryRect(r, startMillis, endMillis)
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.SearchAll(q)
+}
+
+// Len implements Index.
+func (x *RTree) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Len()
+}
+
+// Height exposes the underlying tree height for diagnostics.
+func (x *RTree) Height() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Height()
+}
+
+// Entries returns a copy of every stored entry, in unspecified order —
+// the input to a snapshot.
+func (x *RTree) Entries() []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]Entry, 0, x.tree.Len())
+	x.tree.Scan(func(_ rtree.Rect, e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// NodeCount returns the underlying tree's node count (diagnostics).
+func (x *RTree) NodeCount() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.NodeCount()
+}
+
+// CheckInvariants validates the underlying tree structure (tests only).
+func (x *RTree) CheckInvariants() error {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if err := x.tree.CheckInvariants(); err != nil {
+		return err
+	}
+	if len(x.rects) != x.tree.Len() {
+		return fmt.Errorf("index: id map has %d entries, tree has %d", len(x.rects), x.tree.Len())
+	}
+	return nil
+}
+
+// Linear is the naive baseline: a flat slice scanned on every query
+// (Fig. 6(c)'s "linear search"). Same interface, same semantics.
+type Linear struct {
+	mu      sync.RWMutex
+	entries []Entry
+	byID    map[uint64]int
+}
+
+// NewLinear returns an empty linear index.
+func NewLinear() *Linear {
+	return &Linear{byID: make(map[uint64]int)}
+}
+
+// Insert implements Index.
+func (x *Linear) Insert(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.byID[e.ID]; dup {
+		return fmt.Errorf("index: duplicate id %d", e.ID)
+	}
+	x.byID[e.ID] = len(x.entries)
+	x.entries = append(x.entries, e)
+	return nil
+}
+
+// Remove implements Index.
+func (x *Linear) Remove(id uint64) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	i, ok := x.byID[id]
+	if !ok {
+		return false
+	}
+	last := len(x.entries) - 1
+	x.entries[i] = x.entries[last]
+	x.byID[x.entries[i].ID] = i
+	x.entries = x.entries[:last]
+	delete(x.byID, id)
+	return true
+}
+
+// Search implements Index.
+func (x *Linear) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []Entry
+	for _, e := range x.entries {
+		if e.Rep.EndMillis < startMillis || e.Rep.StartMillis > endMillis {
+			continue
+		}
+		if !r.Contains(e.Rep.FoV.P) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len implements Index.
+func (x *Linear) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.entries)
+}
+
+// Neighbor is a nearest-entry result with its geographic distance.
+type Neighbor struct {
+	Entry          Entry
+	DistanceMeters float64
+}
+
+// Nearest returns up to k entries closest to center whose segment
+// interval intersects [startMillis, endMillis] and which pass keep
+// (nil keeps everything), nearest first. Distance is geographic; the
+// time dimension only filters. Longitude is scaled by cos(latitude) so
+// the metric is locally correct. maxDistanceMeters > 0 bounds the search
+// radius (pass the camera's radius of view: farther entries cannot cover
+// the point anyway).
+func (x *RTree) Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
+	p := [rtree.Dims]float64{center.Lng, center.Lat, 0}
+	w := [rtree.Dims]float64{math.Cos(center.Lat * math.Pi / 180), 1, 0}
+	maxDist2 := 0.0
+	if maxDistanceMeters > 0 {
+		d := maxDistanceMeters / geo.MetersPerDegree
+		maxDist2 = d * d
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	found := x.tree.WeightedNearest(p, w, k, maxDist2, func(r rtree.Rect, e Entry) bool {
+		if e.Rep.EndMillis < startMillis || e.Rep.StartMillis > endMillis {
+			return false
+		}
+		return keep == nil || keep(e)
+	})
+	out := make([]Neighbor, len(found))
+	for i, n := range found {
+		out[i] = Neighbor{
+			Entry:          n.Data,
+			DistanceMeters: geo.Distance(n.Data.Rep.FoV.P, center),
+		}
+	}
+	return out
+}

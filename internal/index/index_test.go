@@ -1,0 +1,386 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/rtree"
+	"fovr/internal/segment"
+)
+
+var city = geo.Point{Lat: 40.0, Lng: 116.3}
+
+// randEntry scatters representatives across a ~5 km square and a day of
+// capture times.
+func randEntry(rng *rand.Rand, id uint64) Entry {
+	p := geo.Offset(city, rng.Float64()*360, rng.Float64()*5000)
+	start := int64(rng.Intn(86_400_000))
+	return Entry{
+		ID:       id,
+		Provider: fmt.Sprintf("client-%d", id%17),
+		Rep: segment.Representative{
+			FoV:         fovAt(p, rng.Float64()*360),
+			StartMillis: start,
+			EndMillis:   start + int64(rng.Intn(60_000)),
+		},
+	}
+}
+
+func fovAt(p geo.Point, theta float64) fov.FoV {
+	return fov.FoV{P: p, Theta: theta}
+}
+
+func newRTree(t *testing.T) *RTree {
+	t.Helper()
+	x, err := NewRTree(rtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestEntryValidate(t *testing.T) {
+	good := Entry{ID: 1, Rep: segment.Representative{FoV: fovAt(city, 10), StartMillis: 5, EndMillis: 9}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid entry rejected: %v", err)
+	}
+	inverted := good
+	inverted.Rep.StartMillis, inverted.Rep.EndMillis = 9, 5
+	if err := inverted.Validate(); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	badPos := good
+	badPos.Rep.FoV.P.Lat = 99
+	if err := badPos.Validate(); err == nil {
+		t.Fatal("invalid position accepted")
+	}
+}
+
+func TestImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rt := newRTree(t)
+	lin := NewLinear()
+	for i := 0; i < 3000; i++ {
+		e := randEntry(rng, uint64(i))
+		if err := rt.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := lin.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Len() != 3000 || lin.Len() != 3000 {
+		t.Fatalf("lens %d/%d", rt.Len(), lin.Len())
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		center := geo.Offset(city, rng.Float64()*360, rng.Float64()*5000)
+		rect := geo.RectAround(center, 100+rng.Float64()*500)
+		ts := int64(rng.Intn(86_400_000))
+		te := ts + int64(rng.Intn(3_600_000))
+		a := ids(rt.Search(rect, ts, te))
+		b := ids(lin.Search(rect, ts, te))
+		if len(a) != len(b) {
+			t.Fatalf("query %d: rtree %d hits, linear %d hits", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d: hit sets differ at %d: %d vs %d", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func ids(entries []Entry) []uint64 {
+	out := make([]uint64, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestTemporalFiltering(t *testing.T) {
+	for _, impl := range []Index{newRTree(t), NewLinear()} {
+		e := Entry{ID: 1, Rep: segment.Representative{
+			FoV: fovAt(city, 0), StartMillis: 1000, EndMillis: 2000,
+		}}
+		if err := impl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		rect := geo.RectAround(city, 100)
+		cases := []struct {
+			ts, te int64
+			want   int
+		}{
+			{0, 500, 0},     // before
+			{2500, 3000, 0}, // after
+			{0, 1000, 1},    // touches start
+			{2000, 3000, 1}, // touches end
+			{1200, 1800, 1}, // inside
+			{0, 5000, 1},    // covers
+		}
+		for _, c := range cases {
+			if got := len(impl.Search(rect, c.ts, c.te)); got != c.want {
+				t.Errorf("%T: interval [%d,%d] returned %d, want %d", impl, c.ts, c.te, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	for _, impl := range []Index{newRTree(t), NewLinear()} {
+		e := Entry{ID: 42, Rep: segment.Representative{FoV: fovAt(city, 0)}}
+		if err := impl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := impl.Insert(e); err == nil {
+			t.Errorf("%T: duplicate id accepted", impl)
+		}
+		if impl.Len() != 1 {
+			t.Errorf("%T: Len = %d after duplicate insert", impl, impl.Len())
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, impl := range []Index{newRTree(t), NewLinear()} {
+		var entries []Entry
+		for i := 0; i < 500; i++ {
+			e := randEntry(rng, uint64(i))
+			entries = append(entries, e)
+			if err := impl.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if impl.Remove(9999) {
+			t.Errorf("%T: removing absent id succeeded", impl)
+		}
+		for _, e := range entries[:250] {
+			if !impl.Remove(e.ID) {
+				t.Errorf("%T: removing present id %d failed", impl, e.ID)
+			}
+		}
+		if impl.Remove(entries[0].ID) {
+			t.Errorf("%T: double remove succeeded", impl)
+		}
+		if impl.Len() != 250 {
+			t.Errorf("%T: Len = %d, want 250", impl, impl.Len())
+		}
+		// Removed ids must be gone; surviving ids must be findable.
+		rect := geo.RectAround(city, 10000)
+		got := map[uint64]bool{}
+		for _, e := range impl.Search(rect, 0, 1<<60) {
+			got[e.ID] = true
+		}
+		for i, e := range entries {
+			want := i >= 250
+			if got[e.ID] != want {
+				t.Fatalf("%T: id %d present=%v, want %v", impl, e.ID, got[e.ID], want)
+			}
+		}
+	}
+	// The R-tree variant must stay structurally sound after heavy removal.
+	rt := newRTree(t)
+	for i := 0; i < 500; i++ {
+		_ = rt.Insert(randEntry(rng, uint64(i)))
+	}
+	for i := 0; i < 400; i++ {
+		rt.Remove(uint64(i))
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertInvalidEntry(t *testing.T) {
+	for _, impl := range []Index{newRTree(t), NewLinear()} {
+		e := Entry{ID: 1, Rep: segment.Representative{FoV: fovAt(geo.Point{Lat: 95, Lng: 0}, 0)}}
+		if err := impl.Insert(e); err == nil {
+			t.Errorf("%T: invalid entry accepted", impl)
+		}
+	}
+}
+
+func TestBulkLoadRTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		entries[i] = randEntry(rng, uint64(i))
+	}
+	bulk, err := BulkLoadRTree(rtree.Options{}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != 2000 {
+		t.Fatalf("Len = %d", bulk.Len())
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Parity with incremental construction.
+	inc := newRTree(t)
+	for _, e := range entries {
+		_ = inc.Insert(e)
+	}
+	rect := geo.RectAround(city, 1500)
+	a := ids(bulk.Search(rect, 0, 86_400_000))
+	b := ids(inc.Search(rect, 0, 86_400_000))
+	if len(a) != len(b) {
+		t.Fatalf("bulk %d hits, incremental %d", len(a), len(b))
+	}
+	// Bulk-loaded trees stay mutable.
+	if !bulk.Remove(entries[0].ID) {
+		t.Fatal("remove from bulk-loaded index failed")
+	}
+	dupErr := func() error {
+		return bulk.Insert(entries[1]) // id still present
+	}()
+	if dupErr == nil {
+		t.Fatal("duplicate insert into bulk-loaded index accepted")
+	}
+}
+
+func TestBulkLoadDuplicateID(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := randEntry(rng, 1)
+	if _, err := BulkLoadRTree(rtree.Options{}, []Entry{e, e}); err == nil {
+		t.Fatal("duplicate ids accepted by bulk load")
+	}
+}
+
+func TestConcurrentUploadAndQuery(t *testing.T) {
+	// The paper's server faces pervasive contributors and inquirers at
+	// once; the index must tolerate concurrent Insert/Search/Remove.
+	rt := newRTree(t)
+	const writers, readers, perWriter = 4, 4, 250
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i)
+				if err := rt.Insert(randEntry(rng, id)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%10 == 0 {
+					rt.Remove(id) // churn
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 200; i++ {
+				center := geo.Offset(city, rng.Float64()*360, rng.Float64()*5000)
+				rt.Search(geo.RectAround(center, 500), 0, 86_400_000)
+				rt.Len()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(0); err == nil {
+		t.Fatal("zero cell accepted")
+	}
+	if _, err := NewGrid(-5); err == nil {
+		t.Fatal("negative cell accepted")
+	}
+}
+
+func TestGridAgreesWithLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	grid := newGrid(t)
+	lin := NewLinear()
+	for i := 0; i < 3000; i++ {
+		e := randEntry(rng, uint64(i))
+		if err := grid.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := lin.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 100; q++ {
+		center := geo.Offset(city, rng.Float64()*360, rng.Float64()*5000)
+		rect := geo.RectAround(center, 100+rng.Float64()*500)
+		ts := int64(rng.Intn(86_400_000))
+		te := ts + int64(rng.Intn(3_600_000))
+		a := ids(grid.Search(rect, ts, te))
+		b := ids(lin.Search(rect, ts, te))
+		if len(a) != len(b) {
+			t.Fatalf("query %d: grid %d hits, linear %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d: hit %d differs", q, i)
+			}
+		}
+	}
+}
+
+func TestGridImplementsIndexContract(t *testing.T) {
+	var impl Index = newGrid(t)
+	rng := rand.New(rand.NewSource(14))
+	var entries []Entry
+	for i := 0; i < 300; i++ {
+		e := randEntry(rng, uint64(i))
+		entries = append(entries, e)
+		if err := impl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := impl.Insert(entries[0]); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if impl.Remove(9999) {
+		t.Fatal("absent remove succeeded")
+	}
+	for _, e := range entries[:100] {
+		if !impl.Remove(e.ID) {
+			t.Fatalf("remove %d failed", e.ID)
+		}
+	}
+	if impl.Len() != 200 {
+		t.Fatalf("Len = %d", impl.Len())
+	}
+	// Cells are garbage-collected when emptied.
+	g := impl.(*Grid)
+	if g.CellCount() == 0 {
+		t.Fatal("all cells gone with 200 entries left")
+	}
+	for _, e := range entries[100:] {
+		g.Remove(e.ID)
+	}
+	if g.CellCount() != 0 {
+		t.Fatalf("%d cells remain after removing everything", g.CellCount())
+	}
+}

@@ -1,0 +1,194 @@
+// Package query implements the rank-based retrieval of Section V-B: it
+// turns an inquirer's request Q = (t_s, t_e, p, r) into an index lookup,
+// applies the paper's four-step filtering mechanism, and returns the top-N
+// most relevant video segments.
+//
+// The four steps, as the paper lists them:
+//
+//  1. Build a reasonable query rectangle from an empirical radius of view
+//     for the area type (20 m residential, 100 m highway, ...), padded so
+//     cameras standing outside the query circle but looking into it are
+//     still candidates.
+//  2. Sort candidate FoVs by distance to the query center — closer
+//     cameras are less likely to be occluded by trees or walls.
+//  3. Exclude FoVs with an improper direction: the camera must actually
+//     cover the query range, not merely be near it (the Merkel /
+//     World-Cup-final example).
+//  4. Return the top N records.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/index"
+)
+
+// AreaType selects the empirical radius of view of Section V-B / VII.
+type AreaType int
+
+const (
+	// Residential areas: short sight lines (20 m).
+	Residential AreaType = iota
+	// Urban open areas: medium sight lines (50 m).
+	Urban
+	// Highway: long sight lines (100 m).
+	Highway
+)
+
+// EmpiricalRadius returns the paper's rule-of-thumb radius of view in
+// meters for the area type.
+func (a AreaType) EmpiricalRadius() float64 {
+	switch a {
+	case Residential:
+		return 20
+	case Urban:
+		return 50
+	case Highway:
+		return 100
+	default:
+		return 20
+	}
+}
+
+func (a AreaType) String() string {
+	switch a {
+	case Residential:
+		return "residential"
+	case Urban:
+		return "urban"
+	case Highway:
+		return "highway"
+	default:
+		return fmt.Sprintf("AreaType(%d)", int(a))
+	}
+}
+
+// Query is the inquirer's request Q = (t_s, t_e, p, r): find video
+// segments recorded during [StartMillis, EndMillis] that cover the
+// circular area of RadiusMeters around Center.
+type Query struct {
+	StartMillis  int64     `json:"startMillis"`
+	EndMillis    int64     `json:"endMillis"`
+	Center       geo.Point `json:"center"`
+	RadiusMeters float64   `json:"radiusMeters"`
+}
+
+// Validate reports whether the query is well-formed.
+func (q Query) Validate() error {
+	if !q.Center.Valid() {
+		return fmt.Errorf("query: invalid center %v", q.Center)
+	}
+	if q.EndMillis < q.StartMillis {
+		return fmt.Errorf("query: time interval inverted [%d, %d]", q.StartMillis, q.EndMillis)
+	}
+	if q.RadiusMeters < 0 || math.IsNaN(q.RadiusMeters) || math.IsInf(q.RadiusMeters, 0) {
+		return fmt.Errorf("query: invalid radius %v", q.RadiusMeters)
+	}
+	return nil
+}
+
+// Options tunes the ranker.
+type Options struct {
+	// Camera supplies the viewing geometry (alpha, R) used for the
+	// orientation filter and the search-rectangle padding. The radius of
+	// view doubles as the candidate cut-off: cameras farther than
+	// RadiusMeters + query radius from the center cannot cover the range.
+	Camera fov.Camera
+	// MaxResults is N of step 4. Zero means unlimited.
+	MaxResults int
+	// SkipOrientationFilter disables step 3, returning every FoV whose
+	// position falls in the query rectangle — the pre-filtering behaviour
+	// the paper argues against. Exposed for the ablation benchmarks.
+	SkipOrientationFilter bool
+}
+
+// Ranked is one retrieval result: the index entry plus the rank metric.
+type Ranked struct {
+	Entry index.Entry `json:"entry"`
+	// DistanceMeters is the camera's distance to the query center, the
+	// paper's ranking key (closer first).
+	DistanceMeters float64 `json:"distanceMeters"`
+}
+
+// Search executes the full retrieval pipeline against an index and
+// returns results sorted by ascending distance to the query center,
+// truncated to MaxResults.
+func Search(idx index.Index, q Query, opts Options) ([]Ranked, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Camera.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Step 1: query rectangle, padded by the radius of view so cameras
+	// outside the circle but able to see into it remain candidates.
+	rect := geo.RectAround(q.Center, q.RadiusMeters+opts.Camera.RadiusMeters)
+	candidates := idx.Search(rect, q.StartMillis, q.EndMillis)
+
+	// Steps 2+3: orientation filter, then rank by distance. Entries from
+	// devices that declared their own optics are filtered with them;
+	// opts.Camera is the deployment default (and must bound the largest
+	// allowed device radius, since it sizes the candidate rectangle).
+	out := make([]Ranked, 0, len(candidates))
+	for _, e := range candidates {
+		d := geo.Distance(e.Rep.FoV.P, q.Center)
+		if !opts.SkipOrientationFilter &&
+			!e.Rep.FoV.CoversCircle(e.EffectiveCamera(opts.Camera), q.Center, q.RadiusMeters) {
+			continue
+		}
+		out = append(out, Ranked{Entry: e, DistanceMeters: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistanceMeters != out[j].DistanceMeters {
+			return out[i].DistanceMeters < out[j].DistanceMeters
+		}
+		return out[i].Entry.ID < out[j].Entry.ID // deterministic tie-break
+	})
+
+	// Step 4: top N.
+	if opts.MaxResults > 0 && len(out) > opts.MaxResults {
+		out = out[:opts.MaxResults]
+	}
+	return out, nil
+}
+
+// SearchNearest answers the radius-free form of the request: the k
+// segments closest to the point of interest that were recording during
+// the window and actually cover the point. It uses the index's
+// branch-and-bound nearest-neighbour search, so no empirical query
+// radius has to be guessed at all — the alternative to step 1's radius
+// table when the area type is unknown.
+func SearchNearest(idx *index.RTree, center geo.Point, startMillis, endMillis int64, k int, opts Options) ([]Ranked, error) {
+	if err := opts.Camera.Validate(); err != nil {
+		return nil, err
+	}
+	if endMillis < startMillis {
+		return nil, fmt.Errorf("query: time interval inverted [%d, %d]", startMillis, endMillis)
+	}
+	if !center.Valid() {
+		return nil, fmt.Errorf("query: invalid center %v", center)
+	}
+	if k <= 0 {
+		k = opts.MaxResults
+	}
+	if k <= 0 {
+		k = 20
+	}
+	neighbors := idx.Nearest(center, startMillis, endMillis, k, opts.Camera.RadiusMeters,
+		func(e index.Entry) bool {
+			if opts.SkipOrientationFilter {
+				return true
+			}
+			return e.Rep.FoV.Covers(e.EffectiveCamera(opts.Camera), center)
+		})
+	out := make([]Ranked, len(neighbors))
+	for i, n := range neighbors {
+		out[i] = Ranked{Entry: n.Entry, DistanceMeters: n.DistanceMeters}
+	}
+	return out, nil
+}

@@ -1,0 +1,324 @@
+// Package render is a tiny pinhole-projection software renderer: it turns
+// a camera pose in the procedural world of package world into a grayscale
+// video frame.
+//
+// The paper's CV baseline (frame differencing) only measures how pixels
+// move between frames, and pixels in street footage move because the
+// camera rotates (pan), advances (looming) or strafes (parallax). The
+// renderer reproduces exactly those three behaviours with a standard
+// pinhole model — azimuth-relative bearings map to columns through
+// tan(angle)/tan(hfov/2), apparent sizes fall off as 1/distance, and near
+// landmarks occlude far ones — so frame-differencing similarity computed
+// on rendered frames has the same structure as on real footage.
+package render
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fovr/internal/geo"
+	"fovr/internal/video"
+	"fovr/internal/world"
+)
+
+// Pose is a camera position and azimuth in world-local coordinates:
+// meters east/north of the world origin, compass degrees.
+type Pose struct {
+	East, North float64
+	AzimuthDeg  float64
+}
+
+// PoseFromGeo converts a geographic FoV position to a world-local pose
+// anchored at origin.
+func PoseFromGeo(origin, p geo.Point, azimuthDeg float64) Pose {
+	v := geo.Displacement(origin, p)
+	return Pose{East: v.East, North: v.North, AzimuthDeg: azimuthDeg}
+}
+
+// Camera is the renderer's optical model.
+type Camera struct {
+	// HFovDeg is the full horizontal field of view (2*alpha). Must be in
+	// (0, 180).
+	HFovDeg float64
+	// ViewMeters is the far clip / radius of view R.
+	ViewMeters float64
+}
+
+// DefaultCamera matches the fov.Camera used across the repository:
+// 60° viewing angle, 100 m radius of view.
+var DefaultCamera = Camera{HFovDeg: 60, ViewMeters: 100}
+
+// Renderer renders frames of a fixed world and camera. It keeps scratch
+// buffers, so rendering a frame sequence does not allocate per frame.
+// A Renderer is not safe for concurrent use.
+type Renderer struct {
+	World  world.World
+	Camera Camera
+
+	sky     skyline
+	scratch []world.Landmark
+}
+
+// New returns a renderer over the given world.
+func New(w world.World, c Camera) *Renderer {
+	return &Renderer{World: w, Camera: c, sky: newSkyline(w.Seed)}
+}
+
+// skyline is the mid-distance low-frequency backdrop: the band of
+// building facades the camera sees behind the foreground landmarks. Real
+// footage is dominated by such large smooth structures, which is what
+// makes frame differencing decline *gradually* instead of saturating
+// after one step; without this layer the thin foreground landmarks alone
+// make the CV similarity a cliff.
+//
+// The band is anchored in *world* coordinates: each image column's view
+// ray is followed to the fixed backdrop distance D, and the silhouette
+// height and brightness are smooth 2-D harmonic fields sampled at that
+// point. Rotating the camera slides the sample point along a circle
+// (pan); translating the camera slides it 1:1 (scroll) — so both motion
+// types change the backdrop smoothly, as they do on a real street.
+type skyline struct {
+	hSeed, bSeed uint64 // value-noise seeds for height and brightness
+}
+
+// skylineDist is the backdrop distance D in meters.
+const skylineDist = 120
+
+// skylineScale is the value-noise grid pitch in meters: the correlation
+// length of the backdrop. One pitch of camera displacement (or of pan
+// arc at skylineDist) fully refreshes the backdrop; 110 m makes the CV
+// decay range comparable to the FoV overlap range (60° of pan ≈ 125 m of
+// arc at the backdrop distance), as street footage shows.
+const skylineScale = 110.0
+
+func newSkyline(seed uint64) skyline {
+	return skyline{
+		hSeed: mix64(seed ^ 0xabcdef1234567890),
+		bSeed: mix64(seed ^ 0x123456789abcdef0),
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// valueNoise is smooth aperiodic 2-D noise in [0, 1]: hash values on a
+// skylineScale grid, bilinearly blended with a smoothstep. Unlike a
+// harmonic field it never (quasi-)recurs, so the backdrop a camera left
+// behind never accidentally comes back — the failure mode that made
+// frame-differencing similarity bounce instead of plateau.
+func valueNoise(seed uint64, x, y float64) float64 {
+	gx := math.Floor(x / skylineScale)
+	gy := math.Floor(y / skylineScale)
+	fx := x/skylineScale - gx
+	fy := y/skylineScale - gy
+	// Smoothstep for C1-continuous blending.
+	sx := fx * fx * (3 - 2*fx)
+	sy := fy * fy * (3 - 2*fy)
+	node := func(ix, iy float64) float64 {
+		h := mix64(seed ^ mix64(uint64(int64(ix))) ^ mix64(uint64(int64(iy))*0x9e3779b97f4a7c15))
+		return float64(h>>11) / float64(1<<53)
+	}
+	v00 := node(gx, gy)
+	v10 := node(gx+1, gy)
+	v01 := node(gx, gy+1)
+	v11 := node(gx+1, gy+1)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+// at returns the silhouette height fraction (0..1 of the half-frame) and
+// brightness for the view ray from (east, north) toward azimuth azDeg.
+func (s skyline) at(east, north, azDeg float64) (heightFrac float64, brightness uint8) {
+	rad := azDeg * math.Pi / 180
+	wE := east + skylineDist*math.Sin(rad)
+	wN := north + skylineDist*math.Cos(rad)
+	// Two octaves: coarse city blocks plus finer facade variation.
+	hv := 0.7*valueNoise(s.hSeed, wE, wN) + 0.3*valueNoise(s.hSeed^0xff, wE*3, wN*3)
+	bv := 0.7*valueNoise(s.bSeed, wE, wN) + 0.3*valueNoise(s.bSeed^0xff, wE*3, wN*3)
+	heightFrac = 0.2 + 0.55*hv
+	brightness = uint8(50 + 150*bv)
+	return
+}
+
+// Render draws the view from pose into dst, overwriting its contents.
+func (r *Renderer) Render(pose Pose, dst *video.Frame) {
+	drawBackground(dst)
+	r.drawSkyline(pose, dst)
+
+	r.scratch = r.World.Near(pose.East, pose.North, r.Camera.ViewMeters, r.scratch[:0])
+	lms := r.scratch
+
+	// Painter's algorithm: far landmarks first so near ones occlude.
+	sort.Slice(lms, func(i, j int) bool {
+		di := sq(lms[i].East-pose.East) + sq(lms[i].North-pose.North)
+		dj := sq(lms[j].East-pose.East) + sq(lms[j].North-pose.North)
+		return di > dj
+	})
+
+	halfFov := r.Camera.HFovDeg / 2
+	tanHalf := math.Tan(halfFov * math.Pi / 180)
+	focal := float64(dst.W) / 2 / tanHalf // pixels
+	horizon := dst.H / 2
+
+	for _, lm := range lms {
+		dE := lm.East - pose.East
+		dN := lm.North - pose.North
+		d := math.Hypot(dE, dN)
+		if d < 20 {
+			// Too close to the lens: real capture rarely has street
+			// furniture filling the frame, and a screen-filling bar
+			// would let a single landmark transit dominate the frame
+			// difference.
+			continue
+		}
+		bearing := math.Atan2(dE, dN) * 180 / math.Pi
+		rel := geo.SignedAngleDiff(pose.AzimuthDeg, bearing)
+		if math.Abs(rel) >= halfFov {
+			continue
+		}
+		// Pinhole projection to a column.
+		cx := float64(dst.W)/2 + focal*math.Tan(rel*math.Pi/180)
+		pixH := focal * lm.Height / d
+		pixW := focal * lm.Width / d
+		if pixW < 1 {
+			pixW = 1
+		}
+		// No single landmark may dominate the frame: cap its screen
+		// footprint like real street furniture.
+		if maxW := float64(dst.W) / 6; pixW > maxW {
+			pixW = maxW
+		}
+		if maxH := 0.6 * float64(horizon); pixH > maxH {
+			pixH = maxH
+		}
+		// Slight distance haze so depth changes show up in pixel values.
+		atten := 1 - 0.5*d/r.Camera.ViewMeters
+		b := uint8(float64(lm.Brightness) * atten)
+
+		x0 := int(cx - pixW/2)
+		x1 := int(cx + pixW/2)
+		y1 := horizon
+		y0 := horizon - int(pixH)
+		drawRect(dst, x0, y0, x1, y1, b)
+	}
+}
+
+// RenderSequence renders one frame per pose at the given resolution.
+func (r *Renderer) RenderSequence(poses []Pose, res video.Resolution) []*video.Frame {
+	frames := make([]*video.Frame, len(poses))
+	for i, p := range poses {
+		frames[i] = res.New()
+		r.Render(p, frames[i])
+	}
+	return frames
+}
+
+// drawSkyline paints the distant backdrop column by column: each column's
+// viewing direction maps through the pinhole model to a world azimuth,
+// and the silhouette height/brightness are smooth functions of that
+// azimuth, so rotating the camera pans the skyline smoothly.
+func (r *Renderer) drawSkyline(pose Pose, dst *video.Frame) {
+	halfFov := r.Camera.HFovDeg / 2
+	tanHalf := math.Tan(halfFov * math.Pi / 180)
+	focal := float64(dst.W) / 2 / tanHalf
+	horizon := dst.H / 2
+	for x := 0; x < dst.W; x++ {
+		rel := math.Atan2(float64(x)+0.5-float64(dst.W)/2, focal) * 180 / math.Pi
+		hf, b := r.sky.at(pose.East, pose.North, pose.AzimuthDeg+rel)
+		top := horizon - int(hf*float64(horizon))
+		if top < 0 {
+			top = 0
+		}
+		for y := top; y < horizon; y++ {
+			dst.Pix[y*dst.W+x] = b
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// drawBackground paints a sky gradient above the horizon and a ground
+// gradient below it.
+func drawBackground(f *video.Frame) {
+	horizon := f.H / 2
+	for y := 0; y < f.H; y++ {
+		var v uint8
+		if y < horizon {
+			// Sky: bright at the top, dimmer near the horizon.
+			v = uint8(210 - 40*y/max(1, horizon))
+		} else {
+			// Ground: dark at the horizon, brighter toward the viewer.
+			v = uint8(70 + 50*(y-horizon)/max(1, f.H-horizon))
+		}
+		row := f.Pix[y*f.W : (y+1)*f.W]
+		for x := range row {
+			row[x] = v
+		}
+	}
+}
+
+// drawRect fills a clipped rectangle.
+func drawRect(f *video.Frame, x0, y0, x1, y1 int, v uint8) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= f.W {
+		x1 = f.W - 1
+	}
+	if y1 >= f.H {
+		y1 = f.H - 1
+	}
+	for y := y0; y <= y1; y++ {
+		row := f.Pix[y*f.W : (y+1)*f.W]
+		for x := x0; x <= x1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderSequenceParallel renders the poses with a worker pool (0 selects
+// GOMAXPROCS). Each worker owns its own Renderer (the scratch buffers are
+// not shareable), so rendering is embarrassingly parallel across frames.
+func RenderSequenceParallel(w world.World, c Camera, poses []Pose, res video.Resolution, workers int) []*video.Frame {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(poses) {
+		workers = len(poses)
+	}
+	frames := make([]*video.Frame, len(poses))
+	if len(poses) == 0 {
+		return frames
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			r := New(w, c)
+			for i := wk; i < len(poses); i += workers {
+				frames[i] = res.New()
+				r.Render(poses[i], frames[i])
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return frames
+}

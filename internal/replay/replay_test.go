@@ -1,0 +1,95 @@
+package replay
+
+import (
+	"testing"
+	"time"
+)
+
+func smallConfig() Config {
+	return Config{
+		Seed:           5,
+		Providers:      40,
+		CaptureSeconds: 30,
+		SampleHz:       5,
+		ExtentMeters:   800,
+		HorizonMillis:  600_000,
+		Queries:        100,
+		QueryRadius:    20,
+	}
+}
+
+func TestRunProducesCoherentMetrics(t *testing.T) {
+	m, sys, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Providers != 40 {
+		t.Fatalf("providers %d", m.Providers)
+	}
+	// 40 providers x 30 s x 5 Hz (+1 inclusive sample).
+	if m.Frames != 40*151 {
+		t.Fatalf("frames %d, want %d", m.Frames, 40*151)
+	}
+	if m.Segments <= 0 || m.Segments > m.Frames {
+		t.Fatalf("segments %d implausible", m.Segments)
+	}
+	if sys.Len() != m.Segments {
+		t.Fatalf("system holds %d segments, metrics say %d", sys.Len(), m.Segments)
+	}
+	// Descriptor traffic stays tiny: tens of bytes per segment.
+	if perSeg := float64(m.UploadBytes) / float64(m.Segments); perSeg > 40 {
+		t.Fatalf("upload %.1f bytes/segment", perSeg)
+	}
+	if m.RawVideoMB < 100 {
+		t.Fatalf("raw video model %v MB implausibly small", m.RawVideoMB)
+	}
+	if m.Queries != 100 {
+		t.Fatalf("queries %d", m.Queries)
+	}
+	// The abstract's claim with huge headroom: every percentile far
+	// under 100 ms.
+	if m.QueryP99 > 100*time.Millisecond {
+		t.Fatalf("p99 query latency %v breaks the <100 ms claim", m.QueryP99)
+	}
+	if m.QueryP50 > m.QueryP99 || m.QueryP99 > m.QueryMax {
+		t.Fatal("latency percentiles out of order")
+	}
+	// Queries target filmed spots with generous windows; a decent share
+	// must return something.
+	if m.ResultsTotal == 0 {
+		t.Fatal("no query returned anything")
+	}
+}
+
+func TestRunDeterministicIngest(t *testing.T) {
+	a, _, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything except wall-clock timings must match exactly.
+	if a.Frames != b.Frames || a.Segments != b.Segments ||
+		a.UploadBytes != b.UploadBytes || a.ResultsTotal != b.ResultsTotal {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunScalesSegmentsWithProviders(t *testing.T) {
+	small := smallConfig()
+	big := smallConfig()
+	big.Providers = 80
+	ms, _, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Segments <= ms.Segments {
+		t.Fatalf("doubling providers did not grow the corpus: %d vs %d", mb.Segments, ms.Segments)
+	}
+}

@@ -1,0 +1,112 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is a rectangle/value pair for bulk loading.
+type Item[T any] struct {
+	Rect Rect
+	Data T
+}
+
+// BulkLoad builds a tree from items using the Sort-Tile-Recursive (STR)
+// packing algorithm: items are sorted by the first dimension of their
+// centers, cut into vertical slabs, each slab sorted by the next
+// dimension, and so on, so that every leaf holds up to MaxEntries
+// spatially adjacent items. STR produces near-100% node fill and tighter
+// MBRs than repeated insertion, at the cost of being offline-only; the
+// ablation benchmarks quantify the query-time difference.
+func BulkLoad[T any](opts Options, items []Item[T]) (*Tree[T], error) {
+	t, err := New[T](opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		if !it.Rect.Valid() {
+			return nil, fmt.Errorf("rtree: invalid rect %v in bulk load", it.Rect)
+		}
+	}
+	if len(items) == 0 {
+		return t, nil
+	}
+
+	entries := make([]entry[T], len(items))
+	for i, it := range items {
+		entries[i] = entry[T]{rect: it.Rect, data: it.Data}
+	}
+	nodes := packLevel(entries, t.opts.MaxEntries, true)
+	height := 1
+	for len(nodes) > 1 {
+		parents := make([]entry[T], len(nodes))
+		for i, n := range nodes {
+			parents[i] = entry[T]{rect: n.mbr(), child: n}
+		}
+		nodes = packLevel(parents, t.opts.MaxEntries, false)
+		height++
+	}
+	t.root = nodes[0]
+	t.height = height
+	t.size = len(items)
+	t.packed = true
+	return t, nil
+}
+
+// packLevel tiles one level's entries into nodes of capacity max using
+// STR's recursive slab sort over the Dims center coordinates.
+func packLevel[T any](entries []entry[T], max int, leaf bool) []*node[T] {
+	strSort(entries, max, 0)
+	nNodes := (len(entries) + max - 1) / max
+	nodes := make([]*node[T], 0, nNodes)
+	for start := 0; start < len(entries); start += max {
+		end := start + max
+		if end > len(entries) {
+			end = len(entries)
+		}
+		n := &node[T]{leaf: leaf, entries: make([]entry[T], end-start)}
+		copy(n.entries, entries[start:end])
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// strSort recursively orders entries so that consecutive runs of max
+// entries are spatially coherent: sort by dimension d, cut into slabs
+// sized for the remaining dimensions, recurse into each slab with d+1.
+func strSort[T any](entries []entry[T], max, d int) {
+	if d >= Dims-1 {
+		sortByCenter(entries, d)
+		return
+	}
+	sortByCenter(entries, d)
+	nLeaves := float64(len(entries)) / float64(max)
+	// Number of slabs along this dimension: ceil(nLeaves^(1/k)) where k is
+	// the number of remaining dimensions.
+	k := Dims - d
+	slabs := int(math.Ceil(math.Pow(nLeaves, 1/float64(k))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (len(entries) + slabs - 1) / slabs
+	// Round the slab size up to a multiple of max so leaves don't straddle
+	// slab boundaries.
+	if rem := slabSize % max; rem != 0 {
+		slabSize += max - rem
+	}
+	for start := 0; start < len(entries); start += slabSize {
+		end := start + slabSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		strSort(entries[start:end], max, d+1)
+	}
+}
+
+func sortByCenter[T any](entries []entry[T], d int) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].rect.Min[d]+entries[i].rect.Max[d] <
+			entries[j].rect.Min[d]+entries[j].rect.Max[d]
+	})
+}

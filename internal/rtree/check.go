@@ -1,0 +1,90 @@
+package rtree
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants of the R-tree and
+// returns the first violation found, or nil. It is exported for tests and
+// for the index package's failure-injection suite; it is O(n) and not
+// meant for production hot paths.
+//
+// Checked invariants:
+//
+//  1. Every leaf is at the same depth, equal to Height.
+//  2. Every node except the root holds between MinEntries and MaxEntries
+//     entries; the root holds at least 2 entries unless it is a leaf.
+//  3. Every internal entry's rectangle is exactly the MBR of its child
+//     (tight), and hence contains all descendant rectangles.
+//  4. Every stored rectangle is valid.
+//  5. The item count equals Len.
+func (t *Tree[T]) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	if !t.root.leaf && len(t.root.entries) < 2 {
+		return fmt.Errorf("rtree: internal root with %d entries", len(t.root.entries))
+	}
+	count := 0
+	if err := t.check(t.root, 1, true, &count); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: counted %d items, Len says %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree[T]) check(n *node[T], depth int, isRoot bool, count *int) error {
+	if n.leaf {
+		if depth != t.height {
+			return fmt.Errorf("rtree: leaf at depth %d, height is %d", depth, t.height)
+		}
+	}
+	if len(n.entries) > t.opts.MaxEntries {
+		return fmt.Errorf("rtree: node with %d entries exceeds max %d", len(n.entries), t.opts.MaxEntries)
+	}
+	// STR packing legitimately leaves the last node of each level under
+	// the minimum fill, so the check is skipped for bulk-loaded trees.
+	if !isRoot && !t.packed && len(n.entries) < t.opts.MinEntries {
+		return fmt.Errorf("rtree: non-root node with %d entries below min %d", len(n.entries), t.opts.MinEntries)
+	}
+	if isRoot && len(n.entries) == 0 && t.size > 0 {
+		return fmt.Errorf("rtree: empty root with size %d", t.size)
+	}
+	for i, e := range n.entries {
+		if !e.rect.Valid() {
+			return fmt.Errorf("rtree: invalid rect %v at entry %d", e.rect, i)
+		}
+		if n.leaf {
+			if e.child != nil {
+				return fmt.Errorf("rtree: leaf entry %d has a child pointer", i)
+			}
+			*count++
+			continue
+		}
+		if e.child == nil {
+			return fmt.Errorf("rtree: internal entry %d has no child", i)
+		}
+		if got := e.child.mbr(); got != e.rect {
+			return fmt.Errorf("rtree: entry %d rect %v is not the child MBR %v", i, e.rect, got)
+		}
+		if err := t.check(e.child, depth+1, false, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NodeCount returns the total number of nodes, for shape diagnostics.
+func (t *Tree[T]) NodeCount() int {
+	return countNodes(t.root)
+}
+
+func countNodes[T any](n *node[T]) int {
+	c := 1
+	if !n.leaf {
+		for _, e := range n.entries {
+			c += countNodes(e.child)
+		}
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package rtree
+
+// Delete removes one stored item whose rectangle equals r and whose value
+// satisfies match, and reports whether such an item was found. After the
+// leaf entry is removed, underfull nodes along the path are dissolved and
+// their surviving entries reinserted at their original level
+// (CondenseTree), and the root is collapsed if it is left with a single
+// child.
+func (t *Tree[T]) Delete(r Rect, match func(T) bool) bool {
+	path, idx := t.findLeaf(t.root, r, match, nil)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	// Shrink the root while it is an internal node with one child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if t.size == 0 && !t.root.leaf {
+		t.root = &node[T]{leaf: true}
+		t.height = 1
+	}
+	return true
+}
+
+// DeleteRect removes one item with exactly the given rectangle, regardless
+// of value.
+func (t *Tree[T]) DeleteRect(r Rect) bool {
+	return t.Delete(r, func(T) bool { return true })
+}
+
+// findLeaf locates a leaf entry matching (r, match) and returns the root
+// path to its leaf plus the entry index, or (nil, 0) if absent.
+func (t *Tree[T]) findLeaf(n *node[T], r Rect, match func(T) bool, path []*node[T]) ([]*node[T], int) {
+	path = append(path, n)
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.rect == r && match(e.data) {
+				return path, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if !e.rect.Contains(r) {
+			continue
+		}
+		if p, i := t.findLeaf(e.child, r, match, path); p != nil {
+			return p, i
+		}
+	}
+	return nil, 0
+}
+
+// orphan is a subtree cut out during condensation, remembered with the
+// level its entries lived at (1 = leaf entries).
+type orphan[T any] struct {
+	entries []entry[T]
+	level   int
+}
+
+// condense walks the deletion path bottom-up, removing nodes that fell
+// below minimum fill and collecting their entries for reinsertion, then
+// reinserts every orphaned entry at its original level.
+func (t *Tree[T]) condense(path []*node[T]) {
+	var orphans []orphan[T]
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		if len(n.entries) < t.opts.MinEntries {
+			// Cut n out of its parent and orphan its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			if len(n.entries) > 0 {
+				// Entries of a node at depth i sit at level t.height-i.
+				orphans = append(orphans, orphan[T]{entries: n.entries, level: t.height - i})
+			}
+		} else {
+			t.tightenParent(path, i)
+		}
+	}
+	// Reinsert orphans. Higher-level subtrees first so the tree height is
+	// stable while they go back in; within a level the order is
+	// arbitrary. Reinsertion can split nodes and grow the tree, which is
+	// fine — levels are recomputed against the current height by
+	// insertAtLevel's caller contract (level counted from the leaves).
+	for _, o := range orphans {
+		for _, e := range o.entries {
+			t.insertAtLevel(e, o.level)
+		}
+	}
+}

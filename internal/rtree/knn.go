@@ -1,0 +1,133 @@
+package rtree
+
+import "container/heap"
+
+// Neighbor is one nearest-neighbour result: the stored item plus its
+// squared distance from the query point.
+type Neighbor[T any] struct {
+	Rect  Rect
+	Data  T
+	Dist2 float64
+}
+
+// knnItem is a priority-queue element: either an unexpanded subtree or a
+// concrete leaf entry, ordered by the MinDist lower bound.
+type knnItem[T any] struct {
+	dist2 float64
+	node  *node[T] // non-nil: subtree to expand
+	rect  Rect
+	data  T
+}
+
+type knnQueue[T any] []knnItem[T]
+
+func (q knnQueue[T]) Len() int           { return len(q) }
+func (q knnQueue[T]) Less(i, j int) bool { return q[i].dist2 < q[j].dist2 }
+func (q knnQueue[T]) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue[T]) Push(x any)        { *q = append(*q, x.(knnItem[T])) }
+func (q *knnQueue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Nearest returns up to k stored items closest to the query point in
+// index space (squared Euclidean distance over all dimensions), nearest
+// first. It is the classic best-first branch-and-bound search: a subtree
+// is only expanded when its bounding box is closer than every unreported
+// candidate, so the scan touches the minimal set of nodes.
+//
+// Callers whose dimensions have incomparable units (degrees vs seconds)
+// should scale their coordinates before indexing or use NearestFunc.
+func (t *Tree[T]) Nearest(p [Dims]float64, k int) []Neighbor[T] {
+	return t.NearestFunc(p, k, nil)
+}
+
+// NearestFunc is Nearest with an optional filter; items rejected by the
+// filter are skipped without counting toward k.
+func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) []Neighbor[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := make(knnQueue[T], 0, t.opts.MaxEntries*2)
+	heap.Push(&q, knnItem[T]{dist2: 0, node: t.root})
+	out := make([]Neighbor[T], 0, k)
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(&q).(knnItem[T])
+		if it.node == nil {
+			if keep == nil || keep(it.rect, it.data) {
+				out = append(out, Neighbor[T]{Rect: it.rect, Data: it.data, Dist2: it.dist2})
+			}
+			continue
+		}
+		for _, e := range it.node.entries {
+			child := knnItem[T]{dist2: e.rect.MinDist(p), rect: e.rect}
+			if it.node.leaf {
+				child.data = e.data
+			} else {
+				child.node = e.child
+			}
+			heap.Push(&q, child)
+		}
+	}
+	return out
+}
+
+// WeightedNearest is Nearest with per-dimension weights: distance is the
+// weighted squared Euclidean over index space, and a weight of zero
+// removes a dimension from the metric entirely (it still participates in
+// filtering via keep). maxDist2 > 0 bounds the search: once the frontier
+// exceeds it the scan stops, which keeps filtered kNN from draining the
+// whole tree when fewer than k items qualify. The FoV index uses this to
+// rank by geographic distance while treating time as a pure filter,
+// bounded at the radius of view (beyond which coverage is impossible).
+func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDist2 float64, keep func(Rect, T) bool) []Neighbor[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	dist := func(r Rect) float64 {
+		sum := 0.0
+		for d := 0; d < Dims; d++ {
+			if w[d] == 0 {
+				continue
+			}
+			v := p[d]
+			var diff float64
+			if v < r.Min[d] {
+				diff = r.Min[d] - v
+			} else if v > r.Max[d] {
+				diff = v - r.Max[d]
+			}
+			diff *= w[d]
+			sum += diff * diff
+		}
+		return sum
+	}
+	q := make(knnQueue[T], 0, t.opts.MaxEntries*2)
+	heap.Push(&q, knnItem[T]{dist2: 0, node: t.root})
+	out := make([]Neighbor[T], 0, k)
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(&q).(knnItem[T])
+		if maxDist2 > 0 && it.dist2 > maxDist2 {
+			break // frontier beyond the bound: nothing closer remains
+		}
+		if it.node == nil {
+			if keep == nil || keep(it.rect, it.data) {
+				out = append(out, Neighbor[T]{Rect: it.rect, Data: it.data, Dist2: it.dist2})
+			}
+			continue
+		}
+		for _, e := range it.node.entries {
+			child := knnItem[T]{dist2: dist(e.rect), rect: e.rect}
+			if it.node.leaf {
+				child.data = e.data
+			} else {
+				child.node = e.child
+			}
+			heap.Push(&q, child)
+		}
+	}
+	return out
+}

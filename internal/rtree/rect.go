@@ -1,0 +1,152 @@
+// Package rtree is a from-scratch, stdlib-only implementation of Guttman's
+// R-tree ("R-trees: a dynamic index structure for spatial searching",
+// SIGMOD 1984), the height-balanced spatial index the paper's cloud server
+// maintains over representative FoVs (Section V-A).
+//
+// The tree indexes three-dimensional rectangles — the paper stores each
+// representative FoV as the degenerate box
+//
+//	min[] = [lng, lat, t_s],  max[] = [lng, lat, t_e]
+//
+// i.e. a vertical segment in (longitude, latitude, time) space — and
+// answers range queries with boxes built from the querier's circle and
+// time interval. Degenerate (zero-volume) rectangles are therefore the
+// dominant workload here, and the node-split heuristics are exercised and
+// tested against them specifically.
+//
+// Features: insert with quadratic (default) or linear split, delete with
+// tree condensation and reinsertion, range search, nearest-neighbour
+// search (branch-and-bound), and sort-tile-recursive (STR) bulk loading.
+// The tree is not safe for concurrent mutation; package index wraps it
+// with the locking the retrieval server needs.
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims is the dimensionality of the index: longitude, latitude, time.
+const Dims = 3
+
+// Rect is an axis-aligned box in index space. A point or a degenerate
+// segment is represented with Min == Max in the flat dimensions.
+type Rect struct {
+	Min, Max [Dims]float64
+}
+
+// Point builds a degenerate rectangle from a single point.
+func Point(p [Dims]float64) Rect { return Rect{Min: p, Max: p} }
+
+// Valid reports whether the rectangle is well-formed: finite and
+// Min <= Max in every dimension.
+func (r Rect) Valid() bool {
+	for d := 0; d < Dims; d++ {
+		if math.IsNaN(r.Min[d]) || math.IsNaN(r.Max[d]) ||
+			math.IsInf(r.Min[d], 0) || math.IsInf(r.Max[d], 0) ||
+			r.Min[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%v..%v]", r.Min, r.Max)
+}
+
+// Intersects reports whether two boxes overlap (boundary contact counts,
+// matching the paper's "have intersection with" retrieval semantics).
+func (r Rect) Intersects(o Rect) bool {
+	for d := 0; d < Dims; d++ {
+		if r.Min[d] > o.Max[d] || o.Min[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies entirely inside r (inclusive).
+func (r Rect) Contains(o Rect) bool {
+	for d := 0; d < Dims; d++ {
+		if o.Min[d] < r.Min[d] || o.Max[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the point lies inside r (inclusive).
+func (r Rect) ContainsPoint(p [Dims]float64) bool {
+	for d := 0; d < Dims; d++ {
+		if p[d] < r.Min[d] || p[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the minimum bounding rectangle of r and o.
+func (r Rect) Union(o Rect) Rect {
+	var u Rect
+	for d := 0; d < Dims; d++ {
+		u.Min[d] = math.Min(r.Min[d], o.Min[d])
+		u.Max[d] = math.Max(r.Max[d], o.Max[d])
+	}
+	return u
+}
+
+// Area returns the d-dimensional volume of r. Degenerate boxes have zero
+// area; split heuristics fall back to margins in that case.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for d := 0; d < Dims; d++ {
+		a *= r.Max[d] - r.Min[d]
+	}
+	return a
+}
+
+// Margin returns the sum of edge lengths of r (the L1 perimeter measure
+// used as a tie-breaker for zero-volume boxes).
+func (r Rect) Margin() float64 {
+	m := 0.0
+	for d := 0; d < Dims; d++ {
+		m += r.Max[d] - r.Min[d]
+	}
+	return m
+}
+
+// Enlargement returns how much r's area must grow to absorb o, with the
+// margin growth as a secondary measure for the degenerate case. The two
+// values order candidate subtrees during ChooseLeaf.
+func (r Rect) Enlargement(o Rect) (dArea, dMargin float64) {
+	u := r.Union(o)
+	return u.Area() - r.Area(), u.Margin() - r.Margin()
+}
+
+// MinDist returns the squared minimum distance from a point to the
+// rectangle (0 when the point is inside). It is the classic R-tree
+// branch-and-bound lower bound for nearest-neighbour search.
+func (r Rect) MinDist(p [Dims]float64) float64 {
+	sum := 0.0
+	for d := 0; d < Dims; d++ {
+		v := p[d]
+		if v < r.Min[d] {
+			diff := r.Min[d] - v
+			sum += diff * diff
+		} else if v > r.Max[d] {
+			diff := v - r.Max[d]
+			sum += diff * diff
+		}
+	}
+	return sum
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() [Dims]float64 {
+	var c [Dims]float64
+	for d := 0; d < Dims; d++ {
+		c[d] = (r.Min[d] + r.Max[d]) / 2
+	}
+	return c
+}

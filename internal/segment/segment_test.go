@@ -1,0 +1,392 @@
+package segment
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+)
+
+var (
+	cam  = fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}
+	base = geo.Point{Lat: 40.0, Lng: 116.3}
+)
+
+func cfg() Config {
+	return Config{Camera: cam, Threshold: 0.5, KeepSamples: true}
+}
+
+func stationary(n int, theta float64) []fov.Sample {
+	out := make([]fov.Sample, n)
+	for i := range out {
+		out[i] = fov.Sample{UnixMillis: int64(i) * 1000, P: base, Theta: theta}
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := cfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, th := range []float64{0, -0.5, 1.5, math.NaN()} {
+		c := cfg()
+		c.Threshold = th
+		if err := c.Validate(); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+	c := cfg()
+	c.Camera.RadiusMeters = 0
+	if err := c.Validate(); err == nil {
+		t.Error("invalid camera accepted")
+	}
+}
+
+func TestStationaryVideoIsOneSegment(t *testing.T) {
+	results, err := Split(cfg(), stationary(100, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d segments, want 1", len(results))
+	}
+	s := results[0].Segment
+	if s.StartIndex != 0 || s.EndIndex != 99 {
+		t.Errorf("index range [%d,%d], want [0,99]", s.StartIndex, s.EndIndex)
+	}
+	if s.StartMillis != 0 || s.EndMillis != 99000 {
+		t.Errorf("time range [%d,%d], want [0,99000]", s.StartMillis, s.EndMillis)
+	}
+	r := results[0].Representative
+	if math.Abs(r.FoV.P.Lat-base.Lat) > 1e-9 || math.Abs(r.FoV.P.Lng-base.Lng) > 1e-9 ||
+		math.Abs(r.FoV.Theta-90) > 1e-9 {
+		t.Errorf("representative = %v, want base/90", r.FoV)
+	}
+}
+
+func TestRotationSplits(t *testing.T) {
+	// Rotate 2°/frame. Threshold 0.5 with 2α=60° means a split the first
+	// time Sim drops strictly below 0.5, i.e. when the rotation from the
+	// anchor exceeds 30°: at frame 16 (32°), so segments of 16 frames.
+	var samples []fov.Sample
+	for i := 0; i < 90; i++ {
+		samples = append(samples, fov.Sample{
+			UnixMillis: int64(i) * 100,
+			P:          base,
+			Theta:      float64(i) * 2,
+		})
+	}
+	results, err := Split(cfg(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d segments, want 6 (split every 16 frames)", len(results))
+	}
+	for i, r := range results[:5] {
+		if got := r.Segment.Len(); got != 16 {
+			t.Errorf("segment %d has %d frames, want 16", i, got)
+		}
+	}
+	if got := results[5].Segment.Len(); got != 10 {
+		t.Errorf("tail segment has %d frames, want 10", got)
+	}
+}
+
+func TestSegmentsPartitionTheStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	samples := randomWalk(rng, 500)
+	results, err := Split(cfg(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no segments")
+	}
+	next := 0
+	total := 0
+	for i, r := range results {
+		s := r.Segment
+		if s.StartIndex != next {
+			t.Fatalf("segment %d starts at %d, want %d (gap or overlap)", i, s.StartIndex, next)
+		}
+		if s.EndIndex < s.StartIndex {
+			t.Fatalf("segment %d has inverted range [%d,%d]", i, s.StartIndex, s.EndIndex)
+		}
+		if got := s.EndIndex - s.StartIndex + 1; got != s.Len() {
+			t.Fatalf("segment %d: index span %d != sample count %d", i, got, s.Len())
+		}
+		next = s.EndIndex + 1
+		total += s.Len()
+	}
+	if next != len(samples) || total != len(samples) {
+		t.Fatalf("segments cover %d/%d frames, end at %d", total, len(samples), next)
+	}
+}
+
+func TestWithinSegmentSimilarityAboveThreshold(t *testing.T) {
+	// Algorithm 1 invariant: every member of a segment has
+	// Sim(anchor, member) >= thresh, where anchor is the first member.
+	rng := rand.New(rand.NewSource(7))
+	samples := randomWalk(rng, 400)
+	c := cfg()
+	results, err := Split(c, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		anchor := r.Segment.Samples[0].FoV()
+		for j, s := range r.Segment.Samples {
+			if sim := fov.Sim(c.Camera, anchor, s.FoV()); sim < c.Threshold {
+				t.Fatalf("segment %d member %d: sim %v < threshold %v", i, j, sim, c.Threshold)
+			}
+		}
+	}
+}
+
+func TestBoundaryFrameBreaksThreshold(t *testing.T) {
+	// The first frame of segment k+1 must be dissimilar to segment k's
+	// anchor — that is what triggered the split.
+	rng := rand.New(rand.NewSource(99))
+	samples := randomWalk(rng, 400)
+	c := cfg()
+	results, err := Split(c, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		anchor := results[i-1].Segment.Samples[0].FoV()
+		first := results[i].Segment.Samples[0].FoV()
+		if sim := fov.Sim(c.Camera, anchor, first); sim >= c.Threshold {
+			t.Fatalf("segment %d first frame sim %v >= threshold; split unjustified", i, sim)
+		}
+	}
+}
+
+func TestHigherThresholdSegmentsDenser(t *testing.T) {
+	// Section VII: "when threshold gets bigger, the segmentation of video
+	// would be denser."
+	rng := rand.New(rand.NewSource(3))
+	samples := randomWalk(rng, 600)
+	prev := 0
+	for _, th := range []float64{0.2, 0.5, 0.8} {
+		c := cfg()
+		c.Threshold = th
+		results, err := Split(c, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) < prev {
+			t.Fatalf("threshold %v produced %d segments, fewer than lower threshold (%d)",
+				th, len(results), prev)
+		}
+		prev = len(results)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	sg, err := NewSegmenter(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sg.Push(fov.Sample{UnixMillis: 1000, P: base}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sg.Push(fov.Sample{UnixMillis: 500, P: base})
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("got err %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestInvalidSampleRejected(t *testing.T) {
+	sg, _ := NewSegmenter(cfg())
+	if _, err := sg.Push(fov.Sample{UnixMillis: 0, P: geo.Point{Lat: 99, Lng: 0}}); err == nil {
+		t.Fatal("invalid sample accepted")
+	}
+}
+
+func TestFlushEmptyAndReuse(t *testing.T) {
+	sg, _ := NewSegmenter(cfg())
+	if res := sg.Flush(); res != nil {
+		t.Fatal("flush of empty segmenter returned a segment")
+	}
+	if _, err := sg.Push(fov.Sample{UnixMillis: 0, P: base}); err != nil {
+		t.Fatal(err)
+	}
+	res := sg.Flush()
+	if res == nil || res.Segment.Len() != 1 {
+		t.Fatalf("flush = %+v, want 1-frame segment", res)
+	}
+	if sg.Open() {
+		t.Fatal("segmenter still open after flush")
+	}
+	// Reusable: a new capture works and indices keep counting frames seen.
+	if _, err := sg.Push(fov.Sample{UnixMillis: 10, P: base}); err != nil {
+		t.Fatal(err)
+	}
+	res = sg.Flush()
+	if res == nil || res.Segment.StartIndex != 1 {
+		t.Fatalf("reuse: got %+v, want segment starting at frame 1", res)
+	}
+}
+
+func TestRepresentativeIsMean(t *testing.T) {
+	samples := []fov.Sample{
+		{UnixMillis: 0, P: geo.Point{Lat: 40.00000, Lng: 116.30000}, Theta: 80},
+		{UnixMillis: 1000, P: geo.Point{Lat: 40.00001, Lng: 116.30001}, Theta: 90},
+		{UnixMillis: 2000, P: geo.Point{Lat: 40.00002, Lng: 116.30002}, Theta: 100},
+	}
+	results, err := Split(cfg(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d segments, want 1", len(results))
+	}
+	r := results[0].Representative
+	if math.Abs(r.FoV.P.Lat-40.00001) > 1e-9 || math.Abs(r.FoV.P.Lng-116.30001) > 1e-9 {
+		t.Errorf("representative position = %v", r.FoV.P)
+	}
+	if math.Abs(r.FoV.Theta-90) > 1e-9 {
+		t.Errorf("representative theta = %v, want 90", r.FoV.Theta)
+	}
+	if r.StartMillis != 0 || r.EndMillis != 2000 {
+		t.Errorf("representative interval [%d,%d]", r.StartMillis, r.EndMillis)
+	}
+}
+
+func TestCircularMeanHandlesWrap(t *testing.T) {
+	// Azimuths 350° and 10° straddle north. Arithmetic mean says 180°
+	// (south — wrong); circular mean says 0° (north — right).
+	samples := []fov.Sample{
+		{UnixMillis: 0, P: base, Theta: 350},
+		{UnixMillis: 1000, P: base, Theta: 10},
+	}
+	arith := cfg()
+	arith.Threshold = 0.1 // keep both frames in one segment despite the 20° turn
+	resA, err := Split(arith, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := arith
+	circ.CircularMean = true
+	resC, err := Split(circ, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA) != 1 || len(resC) != 1 {
+		t.Fatalf("fixture split unexpectedly: %d/%d segments", len(resA), len(resC))
+	}
+	if got := resA[0].Representative.FoV.Theta; math.Abs(got-180) > 1e-9 {
+		t.Errorf("arithmetic mean theta = %v, want 180 (paper's Eq. 11 artifact)", got)
+	}
+	if got := resC[0].Representative.FoV.Theta; geo.AngleDiff(got, 0) > 1e-6 {
+		t.Errorf("circular mean theta = %v, want 0", got)
+	}
+}
+
+func TestKeepSamplesOff(t *testing.T) {
+	c := cfg()
+	c.KeepSamples = false
+	results, err := Split(c, stationary(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d segments", len(results))
+	}
+	s := results[0].Segment
+	if s.Samples != nil {
+		t.Error("samples retained despite KeepSamples=false")
+	}
+	if s.StartIndex != 0 || s.EndIndex != 49 {
+		t.Errorf("index range [%d,%d] wrong without samples", s.StartIndex, s.EndIndex)
+	}
+	rep := results[0].Representative.FoV.P
+	if math.Abs(rep.Lat-base.Lat) > 1e-9 || math.Abs(rep.Lng-base.Lng) > 1e-9 {
+		t.Errorf("representative %v wrong without samples", rep)
+	}
+}
+
+func TestTranslationSplitsAtExpectedDistance(t *testing.T) {
+	// Walking straight ahead (theta_p = 0 relative to camera): similarity
+	// falls per SimParallel. Find the distance where SimParallel crosses
+	// the threshold and check the split lands there.
+	c := cfg()
+	c.Threshold = 0.8
+	var wantDist float64
+	for d := 0.0; d < 500; d += 0.1 {
+		if fov.SimParallel(c.Camera, d) < c.Threshold {
+			wantDist = d
+			break
+		}
+	}
+	if wantDist == 0 {
+		t.Fatal("threshold never crossed; fixture broken")
+	}
+	var samples []fov.Sample
+	step := 1.0 // meters per frame, heading north, facing north
+	for i := 0; i < 200; i++ {
+		samples = append(samples, fov.Sample{
+			UnixMillis: int64(i) * 100,
+			P:          geo.Offset(base, 0, float64(i)*step),
+			Theta:      0,
+		})
+	}
+	results, err := Split(c, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("got %d segments, want >= 2", len(results))
+	}
+	firstLen := float64(results[0].Segment.Len())
+	if math.Abs(firstLen-math.Ceil(wantDist)) > 1.5 {
+		t.Errorf("first segment spans %v m, want ~%v m", firstLen, wantDist)
+	}
+}
+
+func TestSplitEmptyInput(t *testing.T) {
+	results, err := Split(cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d segments from empty input", len(results))
+	}
+}
+
+func TestRepresentativesHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	results, err := Split(cfg(), randomWalk(rng, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := Representatives(results)
+	if len(reps) != len(results) {
+		t.Fatalf("got %d reps for %d results", len(reps), len(results))
+	}
+	for i := range reps {
+		if reps[i] != results[i].Representative {
+			t.Fatalf("rep %d mismatch", i)
+		}
+	}
+}
+
+// randomWalk produces a plausible mobile-capture sample stream: random
+// heading drift and forward motion at walking speed, 10 Hz.
+func randomWalk(rng *rand.Rand, n int) []fov.Sample {
+	samples := make([]fov.Sample, n)
+	p := base
+	theta := rng.Float64() * 360
+	for i := 0; i < n; i++ {
+		samples[i] = fov.Sample{UnixMillis: int64(i) * 100, P: p, Theta: geo.NormalizeDeg(theta)}
+		theta += (rng.Float64() - 0.5) * 10 // up to ±5°/frame heading drift
+		p = geo.Offset(p, theta, 0.14)      // ~1.4 m/s at 10 Hz
+	}
+	return samples
+}

@@ -1,0 +1,184 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/trace"
+)
+
+func TestSmootherFirstSampleUnchanged(t *testing.T) {
+	sm := NewSmoother(0.3)
+	s := fov.Sample{UnixMillis: 0, P: base, Theta: 123}
+	if got := sm.Apply(s); got != s {
+		t.Fatalf("first sample changed: %+v", got)
+	}
+}
+
+func TestSmootherConvergesToConstant(t *testing.T) {
+	sm := NewSmoother(0.3)
+	target := fov.Sample{UnixMillis: 0, P: geo.Offset(base, 45, 100), Theta: 200}
+	var out fov.Sample
+	for i := 0; i < 100; i++ {
+		target.UnixMillis = int64(i)
+		out = sm.Apply(target)
+	}
+	if geo.Distance(out.P, target.P) > 0.01 || geo.AngleDiff(out.Theta, target.Theta) > 0.01 {
+		t.Fatalf("did not converge: %+v vs %+v", out, target)
+	}
+}
+
+func TestSmootherHandlesAzimuthWrap(t *testing.T) {
+	// Samples alternating 359° and 1° must smooth to ~0°, never to ~180°.
+	sm := NewSmoother(0.5)
+	var out fov.Sample
+	for i := 0; i < 50; i++ {
+		theta := 359.0
+		if i%2 == 1 {
+			theta = 1.0
+		}
+		out = sm.Apply(fov.Sample{UnixMillis: int64(i), P: base, Theta: theta})
+	}
+	if geo.AngleDiff(out.Theta, 0) > 2 {
+		t.Fatalf("wrap-straddling smoothing gave %v, want ~0", out.Theta)
+	}
+}
+
+func TestSmootherReducesJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sm := NewSmoother(0.2)
+	varRaw, varSm := 0.0, 0.0
+	n := 500
+	for i := 0; i < n; i++ {
+		p := geo.Offset(base, rng.Float64()*360, math.Abs(rng.NormFloat64())*3)
+		s := fov.Sample{UnixMillis: int64(i), P: p, Theta: geo.NormalizeDeg(rng.NormFloat64() * 4)}
+		out := sm.Apply(s)
+		varRaw += sq(geo.Distance(base, s.P))
+		varSm += sq(geo.Distance(base, out.P))
+	}
+	if varSm >= varRaw/2 {
+		t.Fatalf("smoothing reduced positional variance only %vx", varRaw/varSm)
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestSmootherReset(t *testing.T) {
+	sm := NewSmoother(0.1)
+	sm.Apply(fov.Sample{UnixMillis: 0, P: base, Theta: 0})
+	sm.Reset()
+	s := fov.Sample{UnixMillis: 1, P: geo.Offset(base, 0, 500), Theta: 90}
+	if got := sm.Apply(s); got != s {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestSmootherAlphaClamping(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 2, math.NaN()} {
+		sm := NewSmoother(alpha)
+		a := fov.Sample{UnixMillis: 0, P: base, Theta: 10}
+		b := fov.Sample{UnixMillis: 1, P: geo.Offset(base, 0, 100), Theta: 50}
+		sm.Apply(a)
+		if got := sm.Apply(b); geo.Distance(got.P, b.P) > 1e-9 {
+			t.Fatalf("alpha %v: clamped smoother must pass samples through", alpha)
+		}
+	}
+}
+
+func TestConfigValidatesRobustnessOptions(t *testing.T) {
+	c := cfg()
+	c.SmoothingAlpha = -0.1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	c = cfg()
+	c.SmoothingAlpha = 1.5
+	if err := c.Validate(); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	c = cfg()
+	c.MinSegmentMillis = -5
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative min duration accepted")
+	}
+}
+
+// TestNoiseRobustness is the stability claim: on a tripod shot with
+// realistic sensor noise, the raw segmenter shatters the video while the
+// conditioned one holds it together — and on a *genuine* scene change the
+// conditioned segmenter still splits.
+func TestNoiseRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	clean, err := trace.RotateInPlace(trace.Config{SampleHz: 10}, base, 90, 0, 120) // 2 min tripod
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := trace.Noise{GPSMeters: 3, CompassDeg: 4}.Apply(rng, clean)
+
+	raw := cfg()
+	raw.Threshold = 0.7
+	rawResults, err := Split(raw, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conditioned := raw
+	conditioned.SmoothingAlpha = 0.15
+	conditioned.MinSegmentMillis = 5000
+	condResults, err := Split(conditioned, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawResults) < 3*len(condResults) {
+		t.Fatalf("conditioning bought too little: raw %d vs conditioned %d segments",
+			len(rawResults), len(condResults))
+	}
+	if len(condResults) > 4 {
+		t.Fatalf("conditioned tripod shot still shattered: %d segments", len(condResults))
+	}
+
+	// Genuine change: tripod, then a 90° pan. The conditioned segmenter
+	// must still produce >= 2 segments.
+	part1, _ := trace.RotateInPlace(trace.Config{SampleHz: 10}, base, 0, 0, 30)
+	part2, _ := trace.RotateInPlace(trace.Config{SampleHz: 10, StartMillis: 31_000}, base, 90, 0, 30)
+	turn := append(append([]fov.Sample{}, part1...), part2...)
+	turnNoisy := trace.Noise{GPSMeters: 3, CompassDeg: 4}.Apply(rng, turn)
+	turnResults, err := Split(conditioned, turnNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turnResults) < 2 {
+		t.Fatal("conditioned segmenter missed a genuine 90° scene change")
+	}
+}
+
+func TestMinSegmentMillisBoundsSplitRate(t *testing.T) {
+	// Even a wildly dissimilar stream cannot split faster than the bound.
+	c := cfg()
+	c.Threshold = 0.99
+	c.MinSegmentMillis = 2000
+	var samples []fov.Sample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, fov.Sample{
+			UnixMillis: int64(i) * 100, // 10 Hz
+			P:          base,
+			Theta:      float64(i*91) - 360*math.Floor(float64(i*91)/360),
+		})
+	}
+	results, err := Split(c, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 s of video, >= 2 s per segment -> at most 5 segments.
+	if len(results) > 5 {
+		t.Fatalf("min-duration bound violated: %d segments in 10 s", len(results))
+	}
+	for _, r := range results[:len(results)-1] {
+		if r.Segment.DurationMillis() < 1900 { // last sample before split
+			t.Fatalf("segment lasted only %d ms", r.Segment.DurationMillis())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package segment
+
+import (
+	"fovr/internal/geo"
+)
+
+// Stats summarizes the camera motion inside one segment — what a
+// downstream consumer needs to triage segments without frames: was the
+// camera parked, panning, or traveling, and how fast?
+type Stats struct {
+	// Frames is the member count.
+	Frames int
+	// DurationMillis is the covered time span.
+	DurationMillis int64
+	// PathMeters is the total distance traveled along the sample path.
+	PathMeters float64
+	// NetMeters is the straight-line distance from first to last sample.
+	NetMeters float64
+	// SweepDeg is the total absolute azimuth change accumulated along
+	// the samples (a full pan-and-return counts twice).
+	SweepDeg float64
+	// MeanSpeedMps is PathMeters over the duration (0 for instants).
+	MeanSpeedMps float64
+}
+
+// ComputeStats derives motion statistics from a segment's samples. It
+// requires the segment to have been produced with KeepSamples set;
+// otherwise it returns zero Stats with ok = false.
+func ComputeStats(s Segment) (Stats, bool) {
+	if len(s.Samples) == 0 {
+		return Stats{}, false
+	}
+	st := Stats{
+		Frames:         len(s.Samples),
+		DurationMillis: s.DurationMillis(),
+	}
+	for i := 1; i < len(s.Samples); i++ {
+		st.PathMeters += geo.Distance(s.Samples[i-1].P, s.Samples[i].P)
+		st.SweepDeg += geo.AngleDiff(s.Samples[i-1].Theta, s.Samples[i].Theta)
+	}
+	st.NetMeters = geo.Distance(s.Samples[0].P, s.Samples[len(s.Samples)-1].P)
+	if st.DurationMillis > 0 {
+		st.MeanSpeedMps = st.PathMeters / (float64(st.DurationMillis) / 1000)
+	}
+	return st, true
+}
+
+// Kind classifies the dominant motion of a segment, for triage displays.
+type Kind int
+
+const (
+	// Stationary: negligible travel and pan.
+	Stationary Kind = iota
+	// Panning: little travel, substantial azimuth sweep.
+	Panning
+	// Traveling: substantial position change.
+	Traveling
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Stationary:
+		return "stationary"
+	case Panning:
+		return "panning"
+	case Traveling:
+		return "traveling"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify maps motion statistics to a Kind with conventional thresholds:
+// under 5 m of net travel the segment is stationary or panning (by
+// whether the sweep exceeds 20°); otherwise traveling.
+func (st Stats) Classify() Kind {
+	if st.NetMeters >= 5 {
+		return Traveling
+	}
+	if st.SweepDeg >= 20 {
+		return Panning
+	}
+	return Stationary
+}

@@ -1,0 +1,85 @@
+package segment
+
+import (
+	"math"
+	"testing"
+
+	"fovr/internal/trace"
+)
+
+func TestComputeStatsRequiresSamples(t *testing.T) {
+	if _, ok := ComputeStats(Segment{}); ok {
+		t.Fatal("stats from sample-less segment")
+	}
+}
+
+func TestStatsStationary(t *testing.T) {
+	results, err := Split(cfg(), stationary(100, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := ComputeStats(results[0].Segment)
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if st.Frames != 100 || st.PathMeters != 0 || st.SweepDeg != 0 || st.MeanSpeedMps != 0 {
+		t.Fatalf("stationary stats = %+v", st)
+	}
+	if st.Classify() != Stationary {
+		t.Fatalf("classified as %v", st.Classify())
+	}
+}
+
+func TestStatsTraveling(t *testing.T) {
+	samples, err := trace.Straight(trace.Config{SampleHz: 10}, base, 0, 0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	c.Threshold = 0.2 // keep the 20 m walk in one segment
+	results, err := Split(c, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := ComputeStats(results[0].Segment)
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if math.Abs(st.PathMeters-20) > 0.5 || math.Abs(st.NetMeters-20) > 0.5 {
+		t.Fatalf("travel stats = %+v, want ~20 m", st)
+	}
+	if math.Abs(st.MeanSpeedMps-2) > 0.1 {
+		t.Fatalf("speed %v, want ~2", st.MeanSpeedMps)
+	}
+	if st.Classify() != Traveling {
+		t.Fatalf("classified as %v", st.Classify())
+	}
+}
+
+func TestStatsPanning(t *testing.T) {
+	samples, err := trace.RotateInPlace(trace.Config{SampleHz: 10}, base, 0, 5, 5) // 25° pan
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	c.Threshold = 0.2
+	results, err := Split(c, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := ComputeStats(results[0].Segment)
+	if math.Abs(st.SweepDeg-25) > 1 {
+		t.Fatalf("sweep %v, want ~25", st.SweepDeg)
+	}
+	if st.Classify() != Panning {
+		t.Fatalf("classified as %v (stats %+v)", st.Classify(), st)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Stationary: "stationary", Panning: "panning", Traveling: "traveling", Kind(9): "unknown"} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d) = %q", int(k), k.String())
+		}
+	}
+}

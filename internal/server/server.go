@@ -1,0 +1,414 @@
+// Package server implements the cloud side of the retrieval system
+// (Section II): it accepts representative-FoV uploads from providers,
+// maintains the spatio-temporal index, and answers inquirers' ranked
+// range queries. The prototype paper ran this as a Java service; here it
+// is a net/http server speaking the binary upload format of package wire
+// (with a JSON fallback) and JSON queries.
+//
+// Endpoints:
+//
+//	POST /upload  — body: wire binary (application/octet-stream) or
+//	                JSON Upload (application/json). Registers every
+//	                representative; responds with the assigned ids.
+//	POST /query   — body: JSON query.Query (+ optional maxResults).
+//	                Responds with the ranked result list.
+//	GET  /stats   — index size, per-provider counts, traffic totals.
+//	GET  /healthz — liveness.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/index"
+	"fovr/internal/query"
+	"fovr/internal/rtree"
+	"fovr/internal/snapshot"
+	"fovr/internal/wire"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Camera is the viewing geometry used by the ranker.
+	Camera fov.Camera
+	// DefaultMaxResults caps query responses when the querier does not
+	// ask for a specific N. Zero means 20.
+	DefaultMaxResults int
+	// MaxUploadBytes bounds request bodies. Zero means 8 MiB.
+	MaxUploadBytes int64
+	// IndexOptions tunes the underlying R-tree.
+	IndexOptions rtree.Options
+	// Logger receives request-level diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Camera == (fov.Camera{}) {
+		c.Camera = fov.DefaultCamera
+	}
+	if c.DefaultMaxResults == 0 {
+		c.DefaultMaxResults = 20
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the cloud service. Create with New, wire into an http.Server
+// via Handler, or use ListenAndServe/Serve.
+type Server struct {
+	cfg     Config
+	idx     *index.RTree
+	subs    *subscriptions
+	traffic wire.TrafficMeter
+
+	mu         sync.Mutex
+	nextID     uint64
+	byProvider map[string]int
+	started    time.Time
+}
+
+// New constructs a server, or fails on invalid configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Camera.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := index.NewRTree(cfg.IndexOptions)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		idx:        idx,
+		subs:       newSubscriptions(),
+		nextID:     1,
+		byProvider: make(map[string]int),
+		started:    time.Now(),
+	}, nil
+}
+
+// Index exposes the underlying index (benchmarks and tests).
+func (s *Server) Index() *index.RTree { return s.idx }
+
+// Traffic exposes the server-side byte counters.
+func (s *Server) Traffic() *wire.TrafficMeter { return &s.traffic }
+
+// Register adds an upload directly (the in-process fast path used by
+// simulations that skip HTTP). It returns the assigned segment ids.
+func (s *Server) Register(u wire.Upload) ([]uint64, error) {
+	if u.Provider == "" {
+		return nil, errors.New("server: empty provider")
+	}
+	ids := make([]uint64, 0, len(u.Reps))
+	s.mu.Lock()
+	start := s.nextID
+	s.nextID += uint64(len(u.Reps))
+	s.byProvider[u.Provider] += len(u.Reps)
+	s.mu.Unlock()
+	for i, rep := range u.Reps {
+		e := index.Entry{ID: start + uint64(i), Provider: u.Provider, Rep: rep, Camera: u.Camera}
+		if err := s.idx.Insert(e); err != nil {
+			// Roll back the already-inserted prefix so an upload is
+			// all-or-nothing.
+			for _, id := range ids {
+				s.idx.Remove(id)
+			}
+			s.mu.Lock()
+			s.byProvider[u.Provider] -= len(u.Reps)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("server: rep %d: %w", i, err)
+		}
+		ids = append(ids, e.ID)
+		s.subs.offer(s.cfg.Camera, e)
+	}
+	return ids, nil
+}
+
+// Query answers a retrieval request directly (in-process fast path).
+func (s *Server) Query(q query.Query, maxResults int) ([]query.Ranked, error) {
+	if maxResults <= 0 {
+		maxResults = s.cfg.DefaultMaxResults
+	}
+	return query.Search(s.idx, q, query.Options{
+		Camera:     s.cfg.Camera,
+		MaxResults: maxResults,
+	})
+}
+
+// LoadSnapshot replaces the server's state with a snapshot (package
+// snapshot format). Intended for startup, before serving traffic.
+func (s *Server) LoadSnapshot(r io.Reader) error {
+	idx, err := snapshot.Restore(r, s.cfg.IndexOptions)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx = idx
+	s.byProvider = make(map[string]int)
+	maxID := uint64(0)
+	for _, e := range idx.Entries() {
+		s.byProvider[e.Provider]++
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+	}
+	s.nextID = maxID + 1
+	return nil
+}
+
+// WriteSnapshot streams the server's current state in snapshot format.
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	return snapshot.Write(w, s.idx.Entries())
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/upload", s.handleUpload)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/subscribe", s.handleSubscribe)
+	mux.HandleFunc("/matches", s.handleMatches)
+	mux.HandleFunc("/unsubscribe", s.handleUnsubscribe)
+	mux.HandleFunc("/forget", s.handleForget)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	s.traffic.AddSent(buf.Len())
+	_, _ = w.Write(buf.Bytes())
+}
+
+// UploadResponse acknowledges an upload.
+type UploadResponse struct {
+	IDs []uint64 `json:"ids"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxUploadBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxUploadBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+		return
+	}
+	s.traffic.AddReceived(len(body))
+
+	var u wire.Upload
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/json"):
+		if err := json.Unmarshal(body, &u); err != nil {
+			httpError(w, http.StatusBadRequest, "json: %v", err)
+			return
+		}
+	default:
+		u, err = wire.DecodeBinary(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+	}
+	ids, err := s.Register(u)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.logf("upload provider=%s reps=%d bytes=%d", u.Provider, len(u.Reps), len(body))
+	s.respondJSON(w, UploadResponse{IDs: ids})
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	query.Query
+	MaxResults int `json:"maxResults,omitempty"`
+}
+
+// QueryResponse is the ranked result list.
+type QueryResponse struct {
+	Results []query.Ranked `json:"results"`
+	// ElapsedMicros is the server-side search time, reported so clients
+	// can observe the sub-100 ms claim directly.
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read: %v", err)
+		return
+	}
+	s.traffic.AddReceived(len(body))
+	var req QueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "json: %v", err)
+		return
+	}
+	begin := time.Now()
+	results, err := s.Query(req.Query, req.MaxResults)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if results == nil {
+		results = []query.Ranked{}
+	}
+	s.logf("query center=%v r=%.0fm window=[%d,%d] hits=%d",
+		req.Center, req.RadiusMeters, req.StartMillis, req.EndMillis, len(results))
+	s.respondJSON(w, QueryResponse{
+		Results:       results,
+		ElapsedMicros: time.Since(begin).Microseconds(),
+	})
+}
+
+// Stats reports service state.
+type Stats struct {
+	Segments      int            `json:"segments"`
+	Providers     map[string]int `json:"providers"`
+	IndexHeight   int            `json:"indexHeight"`
+	BytesIn       int64          `json:"bytesIn"`
+	BytesOut      int64          `json:"bytesOut"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	providers := make(map[string]int, len(s.byProvider))
+	for k, v := range s.byProvider {
+		providers[k] = v
+	}
+	s.mu.Unlock()
+	s.respondJSON(w, Stats{
+		Segments:      s.idx.Len(),
+		Providers:     providers,
+		IndexHeight:   s.idx.Height(),
+		BytesIn:       s.traffic.Received(),
+		BytesOut:      s.traffic.Sent(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) respondJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "marshal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.traffic.AddSent(len(data))
+	_, _ = w.Write(data)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// HTTPServer returns a production-configured http.Server for the API:
+// bounded header/read/write timeouts so a stalled client cannot pin a
+// connection forever. The caller owns Serve/Shutdown.
+func (s *Server) HTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Serve runs the HTTP API on the listener until it is closed.
+func (s *Server) Serve(l net.Listener) error {
+	return s.HTTPServer().Serve(l)
+}
+
+// ListenAndServe runs the HTTP API on addr until the process exits.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := s.HTTPServer()
+	srv.Addr = addr
+	return srv.ListenAndServe()
+}
+
+// ForgetProvider removes every segment a provider has contributed — the
+// opt-out the paper's privacy motivation implies a deployment must offer.
+// It returns the number of segments removed.
+func (s *Server) ForgetProvider(provider string) int {
+	var ids []uint64
+	for _, e := range s.idx.Entries() {
+		if e.Provider == provider {
+			ids = append(ids, e.ID)
+		}
+	}
+	removed := 0
+	for _, id := range ids {
+		if s.idx.Remove(id) {
+			removed++
+		}
+	}
+	s.mu.Lock()
+	delete(s.byProvider, provider)
+	s.mu.Unlock()
+	return removed
+}
+
+func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	provider := r.URL.Query().Get("provider")
+	if provider == "" {
+		httpError(w, http.StatusBadRequest, "provider required")
+		return
+	}
+	removed := s.ForgetProvider(provider)
+	s.logf("forget provider=%s removed=%d", provider, removed)
+	s.respondJSON(w, map[string]int{"removed": removed})
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/wire"
+)
+
+var center = geo.Point{Lat: 40.0, Lng: 116.326}
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rep(p geo.Point, theta float64, ts, te int64) segment.Representative {
+	return segment.Representative{FoV: fov.FoV{P: p, Theta: theta}, StartMillis: ts, EndMillis: te}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Camera: fov.Camera{HalfAngleDeg: -1, RadiusMeters: 5}}); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.DefaultMaxResults != 20 || s.cfg.MaxUploadBytes != 8<<20 {
+		t.Fatalf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestRegisterAndQueryInProcess(t *testing.T) {
+	s := newServer(t)
+	p := geo.Offset(center, 180, 30)
+	ids, err := s.Register(wire.Upload{
+		Provider: "alice",
+		Reps: []segment.Representative{
+			rep(p, 0, 0, 5000),                           // facing the center
+			rep(p, 180, 0, 5000),                         // facing away
+			rep(geo.Offset(center, 0, 3000), 0, 0, 5000), // far away
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	results, err := s.Query(query.Query{EndMillis: 5000, Center: center, RadiusMeters: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Entry.ID != 1 {
+		t.Fatalf("results = %+v, want only segment 1", results)
+	}
+}
+
+func TestRegisterEmptyProvider(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.Register(wire.Upload{}); err == nil {
+		t.Fatal("empty provider accepted")
+	}
+}
+
+func TestRegisterRollbackOnInvalidRep(t *testing.T) {
+	s := newServer(t)
+	_, err := s.Register(wire.Upload{
+		Provider: "bob",
+		Reps: []segment.Representative{
+			rep(center, 0, 0, 1000),
+			{FoV: fov.FoV{P: geo.Point{Lat: 99, Lng: 0}}}, // invalid
+		},
+	})
+	if err == nil {
+		t.Fatal("invalid rep accepted")
+	}
+	if got := s.Index().Len(); got != 0 {
+		t.Fatalf("rollback failed: %d entries remain", got)
+	}
+}
+
+func TestHTTPUploadBinaryAndQuery(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	p := geo.Offset(center, 180, 40)
+	body, err := wire.EncodeBinary(wire.Upload{
+		Provider: "carol",
+		Reps:     []segment.Representative{rep(p, 0, 1000, 9000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %s", resp.Status)
+	}
+	var ur UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if len(ur.IDs) != 1 {
+		t.Fatalf("ids = %v", ur.IDs)
+	}
+
+	qBody, _ := json.Marshal(QueryRequest{
+		Query: query.Query{StartMillis: 0, EndMillis: 10_000, Center: center, RadiusMeters: 20},
+	})
+	qResp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qResp.Body.Close()
+	if qResp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %s", qResp.Status)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(qResp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].Entry.Provider != "carol" {
+		t.Fatalf("results = %+v", qr.Results)
+	}
+	if qr.ElapsedMicros < 0 {
+		t.Fatal("negative elapsed time")
+	}
+}
+
+func TestHTTPUploadJSON(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u := wire.Upload{Provider: "dave", Reps: []segment.Representative{rep(center, 90, 0, 1000)}}
+	body, _ := json.Marshal(u)
+	resp, err := http.Post(ts.URL+"/upload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if s.Index().Len() != 1 {
+		t.Fatal("JSON upload not indexed")
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	check := func(name string, resp *http.Response, err error, want int) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/upload")
+	check("GET upload", resp, err, http.StatusMethodNotAllowed)
+
+	resp, err = http.Post(ts.URL+"/upload", "application/octet-stream", strings.NewReader("garbage"))
+	check("garbage upload", resp, err, http.StatusBadRequest)
+
+	resp, err = http.Post(ts.URL+"/upload", "application/json", strings.NewReader("{broken"))
+	check("broken json upload", resp, err, http.StatusBadRequest)
+
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader("{broken"))
+	check("broken json query", resp, err, http.StatusBadRequest)
+
+	// Inverted interval -> validation error.
+	qBody, _ := json.Marshal(QueryRequest{Query: query.Query{StartMillis: 10, EndMillis: 0, Center: center}})
+	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+	check("invalid query", resp, err, http.StatusBadRequest)
+
+	resp, err = http.Post(ts.URL+"/stats", "text/plain", strings.NewReader(""))
+	check("POST stats", resp, err, http.StatusMethodNotAllowed)
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	check("healthz", resp, err, http.StatusOK)
+}
+
+func TestUploadSizeLimit(t *testing.T) {
+	s, err := New(Config{MaxUploadBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	big := bytes.Repeat([]byte{1}, 1024)
+	resp, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, err := s.Register(wire.Upload{Provider: "erin", Reps: []segment.Representative{
+		rep(center, 0, 0, 1000), rep(center, 90, 0, 1000),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 2 || st.Providers["erin"] != 2 || st.IndexHeight < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentHTTPClients(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := geo.Offset(center, float64(w*45), float64(10+i))
+				body, err := wire.EncodeBinary(wire.Upload{
+					Provider: "p",
+					Reps:     []segment.Representative{rep(p, 0, int64(i)*1000, int64(i+1)*1000)},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Index().Len(); got != 160 {
+		t.Fatalf("indexed %d segments, want 160", got)
+	}
+	if err := s.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// IDs must be unique across concurrent uploads: Len == 160 with
+	// duplicate-id rejection already proves it.
+}
+
+func TestSnapshotRoundTripOverHTTP(t *testing.T) {
+	s := newServer(t)
+	_, err := s.Register(wire.Upload{Provider: "frank", Reps: []segment.Representative{
+		rep(center, 0, 0, 1000),
+		rep(geo.Offset(center, 90, 50), 120, 2000, 9000),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server restored from the snapshot serves the same data and
+	// keeps allocating fresh ids above the restored ones.
+	s2 := newServer(t)
+	if err := s2.LoadSnapshot(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Index().Len() != 2 {
+		t.Fatalf("restored %d segments", s2.Index().Len())
+	}
+	results, err := s2.Query(query.Query{EndMillis: 1000, Center: center, RadiusMeters: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Entry.Provider != "frank" {
+		t.Fatalf("restored query results %+v", results)
+	}
+	ids, err := s2.Register(wire.Upload{Provider: "grace", Reps: []segment.Representative{
+		rep(center, 45, 0, 500),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != 3 {
+		t.Fatalf("post-restore id = %d, want 3 (continues after restored max)", ids[0])
+	}
+
+	// Corrupt snapshots are rejected.
+	bad := append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0xFF
+	if err := newServer(t).LoadSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+
+	// POST to /snapshot is not allowed.
+	postResp, err := http.Post(ts.URL+"/snapshot", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST snapshot status %d", postResp.StatusCode)
+	}
+}
+
+func TestForgetProvider(t *testing.T) {
+	s := newServer(t)
+	for _, prov := range []string{"keep", "gone"} {
+		if _, err := s.Register(wire.Upload{Provider: prov, Reps: []segment.Representative{
+			rep(center, 0, 0, 1000),
+			rep(geo.Offset(center, 90, 40), 90, 0, 1000),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed := s.ForgetProvider("gone"); removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if s.Index().Len() != 2 {
+		t.Fatalf("%d segments remain, want 2", s.Index().Len())
+	}
+	for _, e := range s.Index().Entries() {
+		if e.Provider == "gone" {
+			t.Fatal("forgotten provider still indexed")
+		}
+	}
+	if removed := s.ForgetProvider("gone"); removed != 0 {
+		t.Fatalf("double forget removed %d", removed)
+	}
+	if err := s.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Over HTTP.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/forget?provider=keep", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["removed"] != 2 || s.Index().Len() != 0 {
+		t.Fatalf("HTTP forget removed %d, %d remain", out["removed"], s.Index().Len())
+	}
+	// Missing provider param.
+	resp2, err := http.Post(ts.URL+"/forget", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing provider status %d", resp2.StatusCode)
+	}
+}
+
+func TestHeterogeneousCameras(t *testing.T) {
+	// A telephoto provider (narrow but long) and a wide-angle provider
+	// (wide but short) both stand 150 m from the scene, facing it. Only
+	// the telephoto's declared optics can cover it; the deployment
+	// default (R=100) would reject both.
+	s := newServer(t)
+	pos := geo.Offset(center, 0, 150)
+	if _, err := s.Register(wire.Upload{
+		Provider: "telephoto",
+		Camera:   fov.Camera{HalfAngleDeg: 10, RadiusMeters: 300},
+		Reps:     []segment.Representative{rep(pos, 180, 0, 1000)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(wire.Upload{
+		Provider: "wideangle",
+		Camera:   fov.Camera{HalfAngleDeg: 45, RadiusMeters: 40},
+		Reps:     []segment.Representative{rep(pos, 180, 0, 1000)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The server's default camera must bound the largest device radius
+	// for the candidate rectangle; reconfigure accordingly.
+	s2, err := New(Config{Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Index().Entries() {
+		u := wire.Upload{Provider: e.Provider, Camera: e.Camera, Reps: []segment.Representative{e.Rep}}
+		if _, err := s2.Register(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s2.Query(query.Query{EndMillis: 1000, Center: center, RadiusMeters: 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Entry.Provider != "telephoto" {
+		t.Fatalf("results = %+v, want only the telephoto device", results)
+	}
+}

@@ -1,0 +1,120 @@
+// Package survey implements the adaptive parameter assignment Section
+// VII sketches as future work: "Google Maps can help us do the site
+// survey. By analyzing the visual features on the map, radius of view
+// and segmentation threshold could be estimated."
+//
+// Instead of hand-picking 20 m for residential areas and 100 m for
+// highways, a Surveyor measures actual sight lines at a position — how
+// far each viewing ray travels before an obstruction — against the map
+// substrate (package world plays the role of the map provider), and
+// derives the empirical radius of view R from their distribution. A
+// companion helper inverts the similarity model to pick the segmentation
+// threshold that yields a desired segment length, closing the loop the
+// paper leaves open between environment and parameters.
+package survey
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/world"
+)
+
+// Surveyor estimates viewing parameters from a landmark map.
+type Surveyor struct {
+	// World is the obstruction map.
+	World world.World
+	// MaxRangeMeters caps sight lines (open terrain). Zero selects 200.
+	MaxRangeMeters float64
+	// Rays is the number of azimuth samples per site. Zero selects 36.
+	Rays int
+}
+
+func (s Surveyor) maxRange() float64 {
+	if s.MaxRangeMeters <= 0 {
+		return 200
+	}
+	return s.MaxRangeMeters
+}
+
+func (s Surveyor) rays() int {
+	if s.Rays <= 0 {
+		return 36
+	}
+	return s.Rays
+}
+
+// SightLine returns the distance in meters the ray from (east, north)
+// toward azDeg travels before hitting a landmark, capped at the maximum
+// range. The hit test is analytic: a landmark of width W obstructs the
+// ray if the ray passes within W/2 of its center, at positive range.
+func (s Surveyor) SightLine(east, north, azDeg float64) float64 {
+	rad := azDeg * math.Pi / 180
+	dirE, dirN := math.Sin(rad), math.Cos(rad)
+	best := s.maxRange()
+	for _, lm := range s.World.Near(east, north, s.maxRange(), nil) {
+		dE := lm.East - east
+		dN := lm.North - north
+		proj := dE*dirE + dN*dirN // distance along the ray
+		if proj <= 0 || proj >= best {
+			continue
+		}
+		perp := math.Abs(dE*dirN - dN*dirE) // distance off the ray
+		if perp <= lm.Width/2 {
+			best = proj
+		}
+	}
+	return best
+}
+
+// EstimateRadius surveys the site: it samples sight lines over the full
+// circle and returns their median — the empirical radius of view R for
+// this environment. Dense districts yield short radii (the paper's
+// residential 20 m), open roads long ones (the highway 100 m).
+func (s Surveyor) EstimateRadius(east, north float64) float64 {
+	n := s.rays()
+	sights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sights[i] = s.SightLine(east, north, 360*float64(i)/float64(n))
+	}
+	sort.Float64s(sights)
+	if n%2 == 1 {
+		return sights[n/2]
+	}
+	return (sights[n/2-1] + sights[n/2]) / 2
+}
+
+// EstimateRadiusGeo is EstimateRadius for a geographic position, with the
+// world anchored at origin.
+func (s Surveyor) EstimateRadiusGeo(origin, p geo.Point) float64 {
+	v := geo.Displacement(origin, p)
+	return s.EstimateRadius(v.East, v.North)
+}
+
+// ThresholdForSegmentLength inverts the similarity model: it returns the
+// Algorithm 1 threshold at which a camera moving straight ahead splits
+// segments every targetMeters. Derivation: a forward walk's similarity to
+// its anchor is SimParallel(d) = atan(R sin a / (d + R cos a)) / a, which
+// is strictly decreasing, so thresh = SimParallel(targetMeters).
+func ThresholdForSegmentLength(c fov.Camera, targetMeters float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if !(targetMeters > 0) || math.IsInf(targetMeters, 0) {
+		return 0, fmt.Errorf("survey: target segment length %v must be positive and finite", targetMeters)
+	}
+	return fov.SimParallel(c, targetMeters), nil
+}
+
+// SurveyedCamera bundles a site survey into a ready camera: the measured
+// radius with the given half angle.
+func (s Surveyor) SurveyedCamera(east, north, halfAngleDeg float64) (fov.Camera, error) {
+	c := fov.Camera{HalfAngleDeg: halfAngleDeg, RadiusMeters: s.EstimateRadius(east, north)}
+	if err := c.Validate(); err != nil {
+		return fov.Camera{}, err
+	}
+	return c, nil
+}

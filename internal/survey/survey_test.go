@@ -1,0 +1,151 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+	"fovr/internal/trace"
+	"fovr/internal/world"
+)
+
+func TestSightLineOpenTerrain(t *testing.T) {
+	s := Surveyor{World: world.World{Seed: 1, Density: 1e-12}, MaxRangeMeters: 150}
+	if got := s.SightLine(0, 0, 45); got != 150 {
+		t.Fatalf("open terrain sight line = %v, want max range", got)
+	}
+}
+
+func TestSightLineHitsKnownObstruction(t *testing.T) {
+	// Find a landmark in the default world and look straight at it.
+	w := world.World{Seed: 2}
+	lms := w.Near(0, 0, 100, nil)
+	if len(lms) == 0 {
+		t.Fatal("no landmarks")
+	}
+	lm := lms[0]
+	d := math.Hypot(lm.East, lm.North)
+	az := math.Atan2(lm.East, lm.North) * 180 / math.Pi
+	s := Surveyor{World: w}
+	got := s.SightLine(0, 0, az)
+	if got > d+1e-6 {
+		t.Fatalf("sight line %v passes through a landmark at %v", got, d)
+	}
+	// And looking exactly away must not hit *this* landmark closer than
+	// something else: the sight line is at least positive.
+	if s.SightLine(0, 0, az+180) <= 0 {
+		t.Fatal("nonpositive sight line")
+	}
+}
+
+func TestEstimateRadiusDensity(t *testing.T) {
+	// Denser worlds have shorter sight lines.
+	sparse := Surveyor{World: world.World{Seed: 3, Density: 0.05}}
+	dense := Surveyor{World: world.World{Seed: 3, Density: 0.9}}
+	rs := sparse.EstimateRadius(0, 0)
+	rd := dense.EstimateRadius(0, 0)
+	if rd >= rs {
+		t.Fatalf("dense radius %v not below sparse %v", rd, rs)
+	}
+	if rd <= 0 || rs > sparse.maxRange() {
+		t.Fatalf("radii out of range: %v %v", rd, rs)
+	}
+}
+
+func TestEstimateRadiusGeo(t *testing.T) {
+	origin := geo.Point{Lat: 40, Lng: 116.3}
+	s := Surveyor{World: world.World{Seed: 4}}
+	a := s.EstimateRadius(100, 50)
+	b := s.EstimateRadiusGeo(origin, geo.Offset(geo.Offset(origin, 90, 100), 0, 50))
+	if math.Abs(a-b) > 1 {
+		t.Fatalf("geo estimate %v differs from local %v", b, a)
+	}
+}
+
+func TestSurveyedCamera(t *testing.T) {
+	s := Surveyor{World: world.World{Seed: 5}}
+	c, err := s.SurveyedCamera(10, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RadiusMeters <= 0 || c.HalfAngleDeg != 30 {
+		t.Fatalf("camera %+v", c)
+	}
+	if _, err := s.SurveyedCamera(10, 10, 0); err == nil {
+		t.Fatal("invalid half angle accepted")
+	}
+}
+
+func TestThresholdForSegmentLength(t *testing.T) {
+	cam := fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}
+	const target = 40.0
+	th, err := ThresholdForSegmentLength(cam, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 || th >= 1 {
+		t.Fatalf("threshold %v out of range", th)
+	}
+	// Walking straight with that threshold must split every ~target m.
+	samples, err := trace.Straight(trace.Config{SampleHz: 10}, trace.ScenarioOrigin, 0, 0, 2, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := segment.Split(segment.Config{Camera: cam, Threshold: th, KeepSamples: true}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("only %d segments", len(results))
+	}
+	// Check the interior segments' spatial length (first/last may be
+	// truncated).
+	for i := 0; i < len(results)-1; i++ {
+		seg := results[i].Segment
+		first := seg.Samples[0].P
+		last := seg.Samples[len(seg.Samples)-1].P
+		length := geo.Distance(first, last)
+		if math.Abs(length-target) > 3 {
+			t.Fatalf("segment %d spans %.1f m, want ~%.0f", i, length, target)
+		}
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	cam := fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}
+	if _, err := ThresholdForSegmentLength(cam, 0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := ThresholdForSegmentLength(fov.Camera{}, 10); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+}
+
+func TestSurveyEndToEnd(t *testing.T) {
+	// The full adaptive loop: survey a site, build a camera, derive a
+	// threshold, segment a capture there — everything hangs together
+	// without hand-picked constants.
+	w := world.World{Seed: 7}
+	s := Surveyor{World: w}
+	cam, err := s.SurveyedCamera(0, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := ThresholdForSegmentLength(cam, cam.RadiusMeters/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := trace.WalkAhead(trace.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := segment.Split(segment.Config{Camera: cam, Threshold: th}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no segments")
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace simulates the sensor side of mobile video capture: it
+// produces the timestamped (t_i, p_i, theta_i) sample streams that the
+// paper's Android client collects "at the backstage" while recording
+// (Section II-C).
+//
+// The paper's evaluation captures walking, driving, biking and
+// rotating-in-place footage with an HTC One; this package provides the
+// corresponding mobility models plus configurable GPS/compass noise, so
+// every experiment runs on the identical (t, p, theta) code path that
+// real sensors would feed. All generators are deterministic given their
+// *rand.Rand.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+)
+
+// Config holds the sampling parameters shared by all mobility models.
+type Config struct {
+	// SampleHz is the sensor fusion rate. Must be positive. Typical
+	// phones deliver fused GPS/compass at 1-30 Hz.
+	SampleHz float64
+	// StartMillis is the capture start time.
+	StartMillis int64
+}
+
+// DefaultConfig samples at 10 Hz from time zero.
+var DefaultConfig = Config{SampleHz: 10}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if !(c.SampleHz > 0) || math.IsInf(c.SampleHz, 0) {
+		return fmt.Errorf("trace: sample rate %v must be positive and finite", c.SampleHz)
+	}
+	if c.StartMillis < 0 {
+		return fmt.Errorf("trace: negative start time %d", c.StartMillis)
+	}
+	return nil
+}
+
+func (c Config) steps(durationSec float64) int {
+	return int(math.Floor(durationSec*c.SampleHz)) + 1
+}
+
+func (c Config) timeAt(i int) int64 {
+	return c.StartMillis + int64(float64(i)*1000/c.SampleHz)
+}
+
+// RotateInPlace captures the paper's rotation experiment (Fig. 5(a)): the
+// camera stays at p and pans at degPerSec for durationSec seconds,
+// starting from startThetaDeg.
+func RotateInPlace(cfg Config, p geo.Point, startThetaDeg, degPerSec, durationSec float64) ([]fov.Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.steps(durationSec)
+	out := make([]fov.Sample, n)
+	for i := 0; i < n; i++ {
+		dt := float64(i) / cfg.SampleHz
+		out[i] = fov.Sample{
+			UnixMillis: cfg.timeAt(i),
+			P:          p,
+			Theta:      geo.NormalizeDeg(startThetaDeg + degPerSec*dt),
+		}
+	}
+	return out, nil
+}
+
+// Straight captures uniform linear motion (the walking and driving
+// experiments of Figs. 4 and 5(b)): the device moves from start along
+// headingDeg at speedMps, while the camera faces headingDeg +
+// camOffsetDeg. camOffsetDeg = 0 is the paper's theta_p = 0 case (filming
+// ahead), camOffsetDeg = 90 is theta_p = 90 (filming sideways).
+func Straight(cfg Config, start geo.Point, headingDeg, camOffsetDeg, speedMps, durationSec float64) ([]fov.Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if speedMps < 0 {
+		return nil, fmt.Errorf("trace: negative speed %v", speedMps)
+	}
+	n := cfg.steps(durationSec)
+	out := make([]fov.Sample, n)
+	theta := geo.NormalizeDeg(headingDeg + camOffsetDeg)
+	for i := 0; i < n; i++ {
+		dt := float64(i) / cfg.SampleHz
+		out[i] = fov.Sample{
+			UnixMillis: cfg.timeAt(i),
+			P:          geo.Offset(start, headingDeg, speedMps*dt),
+			Theta:      theta,
+		}
+	}
+	return out, nil
+}
+
+// Waypoints follows a polyline at constant speed; the camera faces the
+// instantaneous heading. Heading changes happen at the corners, which is
+// how the bike-ride-with-a-right-turn scenario of Fig. 5(c) is scripted.
+func Waypoints(cfg Config, points []geo.Point, speedMps float64) ([]fov.Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) < 2 {
+		return nil, fmt.Errorf("trace: need at least 2 waypoints, got %d", len(points))
+	}
+	if !(speedMps > 0) {
+		return nil, fmt.Errorf("trace: speed %v must be positive", speedMps)
+	}
+	var out []fov.Sample
+	i := 0
+	// Walk the polyline accumulating distance; emit a sample every
+	// speed/hz meters.
+	stepMeters := speedMps / cfg.SampleHz
+	pos := points[0]
+	segIdx := 0
+	heading := geo.Bearing(points[0], points[1])
+	remaining := geo.Distance(points[0], points[1])
+	for {
+		out = append(out, fov.Sample{UnixMillis: cfg.timeAt(i), P: pos, Theta: heading})
+		i++
+		need := stepMeters
+		for need > 0 {
+			if remaining >= need {
+				pos = geo.Offset(pos, heading, need)
+				remaining -= need
+				need = 0
+			} else {
+				need -= remaining
+				segIdx++
+				if segIdx >= len(points)-1 {
+					return out, nil
+				}
+				pos = points[segIdx]
+				heading = geo.Bearing(points[segIdx], points[segIdx+1])
+				remaining = geo.Distance(points[segIdx], points[segIdx+1])
+			}
+		}
+	}
+}
+
+// RandomWalk wanders from start with heading drift — the generic
+// pedestrian capture used by segmentation tests and workload generation.
+func RandomWalk(cfg Config, rng *rand.Rand, start geo.Point, speedMps, driftDegPerStep, durationSec float64) ([]fov.Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.steps(durationSec)
+	out := make([]fov.Sample, n)
+	p := start
+	heading := rng.Float64() * 360
+	for i := 0; i < n; i++ {
+		out[i] = fov.Sample{UnixMillis: cfg.timeAt(i), P: p, Theta: geo.NormalizeDeg(heading)}
+		heading += (rng.Float64()*2 - 1) * driftDegPerStep
+		p = geo.Offset(p, heading, speedMps/cfg.SampleHz)
+	}
+	return out, nil
+}
+
+// Noise is the sensor error model: zero-mean Gaussian position error with
+// the given standard deviation in meters (in a uniformly random
+// direction) and zero-mean Gaussian compass error in degrees. COTS phone
+// GPS is sigma ~ 2-5 m; fused compasses are sigma ~ 2-5 degrees.
+type Noise struct {
+	GPSMeters  float64
+	CompassDeg float64
+}
+
+// DefaultNoise matches a mid-range phone outdoors.
+var DefaultNoise = Noise{GPSMeters: 2.5, CompassDeg: 3}
+
+// Apply returns a noisy copy of the samples. The input is not modified.
+func (n Noise) Apply(rng *rand.Rand, samples []fov.Sample) []fov.Sample {
+	out := make([]fov.Sample, len(samples))
+	for i, s := range samples {
+		if n.GPSMeters > 0 {
+			dir := rng.Float64() * 360
+			dist := math.Abs(rng.NormFloat64()) * n.GPSMeters
+			s.P = geo.Offset(s.P, dir, dist)
+		}
+		if n.CompassDeg > 0 {
+			s.Theta = geo.NormalizeDeg(s.Theta + rng.NormFloat64()*n.CompassDeg)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// FoVs projects a sample stream to its FoV sequence.
+func FoVs(samples []fov.Sample) []fov.FoV {
+	out := make([]fov.FoV, len(samples))
+	for i, s := range samples {
+		out[i] = s.FoV()
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package utility
+
+import (
+	"fmt"
+
+	"fovr/internal/fov"
+)
+
+// OnlineMechanism is the budgeted online incentive mechanism for the
+// paper's zero arrival-departure interval setting: each contributor
+// arrives exactly once, quotes a cost for their segment, and the server
+// must accept (and pay) or reject immediately, never exceeding the
+// reserved budget.
+//
+// The mechanism is the standard two-phase density-threshold design for
+// online budgeted submodular maximization: the first (sampling) phase
+// observes arrivals without buying; at the phase switch it runs the
+// offline greedy over the sampled prefix to estimate the utility density
+// the budget can achieve, and the second phase buys any arrival whose
+// marginal utility per cost clears a constant fraction of that density.
+// Thresholding on marginal *density* keeps the mechanism budget-feasible
+// and, because U is submodular, competitive with the offline greedy on
+// random arrival orders.
+type OnlineMechanism struct {
+	cam    fov.Camera
+	window Window
+	budget float64
+
+	// SampleFraction is the share of the expected arrival count observed
+	// before buying begins.
+	sampleFraction float64
+	expectedN      int
+
+	seen      int
+	sampled   []Candidate
+	threshold float64
+	buying    bool
+
+	sel   Selection
+	rects []Rect
+}
+
+// NewOnlineMechanism creates a mechanism for an expected number of
+// arrivals. sampleFraction in (0, 1) controls the observe/buy split; 0
+// selects the standard 1/2.
+func NewOnlineMechanism(c fov.Camera, w Window, budget float64, expectedN int, sampleFraction float64) (*OnlineMechanism, error) {
+	if err := validate(c, w); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("utility: budget %v must be positive", budget)
+	}
+	if expectedN <= 0 {
+		return nil, fmt.Errorf("utility: expected arrivals %d must be positive", expectedN)
+	}
+	if sampleFraction == 0 {
+		sampleFraction = 0.5
+	}
+	if sampleFraction <= 0 || sampleFraction >= 1 {
+		return nil, fmt.Errorf("utility: sample fraction %v out of (0, 1)", sampleFraction)
+	}
+	return &OnlineMechanism{
+		cam:            c,
+		window:         w,
+		budget:         budget,
+		sampleFraction: sampleFraction,
+		expectedN:      expectedN,
+	}, nil
+}
+
+// Offer presents one arriving candidate; the mechanism returns true iff
+// it buys the segment at the candidate's quoted cost.
+func (m *OnlineMechanism) Offer(cand Candidate) bool {
+	m.seen++
+	marginal := UnionArea(append(m.rects, RectOf(m.cam, cand.Rep, m.window)...)) - m.sel.Utility
+	density := 0.0
+	if cand.Cost > 0 {
+		density = marginal / cand.Cost
+	} else if marginal > 0 {
+		density = 1e308 // free utility is always worth taking
+	}
+
+	if !m.buying {
+		m.sampled = append(m.sampled, cand)
+		if m.seen >= int(float64(m.expectedN)*m.sampleFraction) {
+			// Phase switch: what density would the offline greedy have
+			// achieved on the sample under this budget? Demand half of
+			// it from every future purchase. (The sampled candidates
+			// themselves are gone — one-shot arrivals.)
+			ref := greedy(m.cam, m.window, m.sampled,
+				func(marginal, cost float64) float64 {
+					if cost <= 0 {
+						return 1e308
+					}
+					return marginal / cost
+				},
+				func(sel *Selection, c Candidate) bool { return sel.Spent+c.Cost <= m.budget })
+			if ref.Spent > 0 {
+				m.threshold = ref.Utility / m.budget / 2
+			}
+			m.sampled = nil
+			m.buying = true
+		}
+		return false
+	}
+
+	if marginal <= 0 || density < m.threshold || m.sel.Spent+cand.Cost > m.budget {
+		return false
+	}
+	m.rects = append(m.rects, RectOf(m.cam, cand.Rep, m.window)...)
+	m.sel.Chosen = append(m.sel.Chosen, cand)
+	m.sel.Utility += marginal
+	m.sel.Spent += cand.Cost
+	return true
+}
+
+// Result returns the selection so far.
+func (m *OnlineMechanism) Result() Selection { return m.sel }

@@ -1,0 +1,110 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+)
+
+// candSpec is a quick-generatable candidate.
+type candSpec struct {
+	Theta      float64
+	Start, Dur int64
+	Cost       float64
+}
+
+func (c candSpec) candidate(id uint64) (Candidate, bool) {
+	if math.IsNaN(c.Theta) || math.IsInf(c.Theta, 0) || math.IsNaN(c.Cost) || math.IsInf(c.Cost, 0) {
+		return Candidate{}, false
+	}
+	start := c.Start
+	if start < 0 {
+		start = -start
+	}
+	start %= 60_000
+	dur := c.Dur
+	if dur < 0 {
+		dur = -dur
+	}
+	dur = 1000 + dur%30_000
+	return Candidate{
+		ID: id,
+		Rep: segment.Representative{
+			FoV:         fov.FoV{P: geo.Point{Lat: 40, Lng: 116.3}, Theta: geo.NormalizeDeg(c.Theta)},
+			StartMillis: start,
+			EndMillis:   start + dur,
+		},
+		Cost: 0.5 + math.Mod(math.Abs(c.Cost), 10),
+	}, true
+}
+
+func specsToCands(specs []candSpec) []Candidate {
+	var out []Candidate
+	for i, s := range specs {
+		if c, ok := s.candidate(uint64(i + 1)); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestQuickUtilityMonotoneSubmodularBounded: for every generated pool,
+// U is monotone under adding a candidate, submodular in the marginal
+// sense, and bounded by the global utility.
+func TestQuickUtilityMonotoneSubmodularBounded(t *testing.T) {
+	f := func(specs []candSpec) bool {
+		cands := specsToCands(specs)
+		if len(cands) < 3 {
+			return true
+		}
+		small := cands[:len(cands)/2]
+		big := cands[:len(cands)-1] // superset of small
+		x := cands[len(cands)-1]
+
+		us := SetUtility(cam, win, small)
+		ub := SetUtility(cam, win, big)
+		if ub < us-1e-6 {
+			return false // monotonicity
+		}
+		if ub > GlobalUtility(win)+1e-6 {
+			return false // bound
+		}
+		gainSmall := SetUtility(cam, win, append(append([]Candidate{}, small...), x)) - us
+		gainBig := SetUtility(cam, win, append(append([]Candidate{}, big...), x)) - ub
+		return gainBig <= gainSmall+1e-6 // submodularity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGreedyBudgetFeasible: greedy never overspends and never loses
+// to an empty selection.
+func TestQuickGreedyBudgetFeasible(t *testing.T) {
+	f := func(specs []candSpec, budgetSeed float64) bool {
+		cands := specsToCands(specs)
+		if math.IsNaN(budgetSeed) || math.IsInf(budgetSeed, 0) {
+			return true
+		}
+		budget := 1 + math.Mod(math.Abs(budgetSeed), 50)
+		sel, err := GreedyBudget(cam, win, cands, budget)
+		if err != nil {
+			return false
+		}
+		if sel.Spent > budget+1e-9 {
+			return false
+		}
+		if sel.Utility < 0 {
+			return false
+		}
+		// Reported utility equals recomputed utility of the chosen set.
+		return math.Abs(sel.Utility-SetUtility(cam, win, sel.Chosen)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package utility implements the video-utility model and incentive
+// mechanism sketched in Section VII of the paper ("Video Utility and
+// Incentive Mechanism").
+//
+// For a query Q over time window [t_s, t_e], the global utility is the
+// rectangle 360° x (t_e - t_s): every viewing direction at every moment.
+// A video segment contributes the sub-rectangle spanned by its angular
+// coverage U_a (the directions its camera sees) and its temporal coverage
+// U_t (the part of the window it records). The utility of a segment set
+// is the area of the union of their rectangles — overlapping segments
+// don't double-count, which makes U a non-negative monotone submodular
+// set function, exactly as the paper observes.
+//
+// On top of the coverage function the package provides the classic greedy
+// maximizers (cardinality-constrained and budgeted) and a two-phase
+// online mechanism for the paper's "zero arrival-departure interval"
+// setting, where contributors show up once, quote a cost, and must be
+// accepted or rejected on the spot against a reserved budget.
+package utility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+)
+
+// Window is the query's time interval.
+type Window struct {
+	StartMillis, EndMillis int64
+}
+
+// Valid reports whether the window is non-empty.
+func (w Window) Valid() bool { return w.EndMillis > w.StartMillis }
+
+// DurationMillis returns the window length.
+func (w Window) DurationMillis() int64 { return w.EndMillis - w.StartMillis }
+
+// GlobalUtility is the paper's 360° x (t_e - t_s) total, in
+// degree-milliseconds.
+func GlobalUtility(w Window) float64 {
+	return 360 * float64(w.DurationMillis())
+}
+
+// Rect is one segment's utility rectangle: an angular interval crossed
+// with a time interval. Angular intervals that wrap 0/360 are split into
+// two rects by RectOf, so AngStart <= AngEnd always holds here.
+type Rect struct {
+	AngStart, AngEnd float64 // degrees, 0 <= AngStart <= AngEnd <= 360
+	TStart, TEnd     int64   // millis, clipped to the window
+}
+
+// Area returns the rectangle's utility in degree-milliseconds.
+func (r Rect) Area() float64 {
+	if r.AngEnd <= r.AngStart || r.TEnd <= r.TStart {
+		return 0
+	}
+	return (r.AngEnd - r.AngStart) * float64(r.TEnd-r.TStart)
+}
+
+// RectOf computes the utility rectangle(s) of a representative FoV for a
+// window: the camera's angular range Theta = (theta - alpha, theta +
+// alpha) crossed with the segment's overlap with the window. A range that
+// crosses north is returned as two rectangles.
+func RectOf(c fov.Camera, rep segment.Representative, w Window) []Rect {
+	t0 := max64(rep.StartMillis, w.StartMillis)
+	t1 := min64(rep.EndMillis, w.EndMillis)
+	if t1 <= t0 {
+		return nil
+	}
+	lo := geo.NormalizeDeg(rep.FoV.Theta - c.HalfAngleDeg)
+	width := 2 * c.HalfAngleDeg
+	if width >= 360 {
+		return []Rect{{AngStart: 0, AngEnd: 360, TStart: t0, TEnd: t1}}
+	}
+	hi := lo + width
+	if hi <= 360 {
+		return []Rect{{AngStart: lo, AngEnd: hi, TStart: t0, TEnd: t1}}
+	}
+	// Wraps north: split.
+	return []Rect{
+		{AngStart: lo, AngEnd: 360, TStart: t0, TEnd: t1},
+		{AngStart: 0, AngEnd: hi - 360, TStart: t0, TEnd: t1},
+	}
+}
+
+// UnionArea computes the exact area of the union of rectangles by
+// coordinate compression: O(n^2 log n) over the rectangle count, which is
+// small for any realistic query.
+func UnionArea(rects []Rect) float64 {
+	var xs []float64
+	var live []Rect
+	for _, r := range rects {
+		if r.Area() <= 0 {
+			continue
+		}
+		live = append(live, r)
+		xs = append(xs, r.AngStart, r.AngEnd)
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	total := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		x0, x1 := xs[i], xs[i+1]
+		if x1 <= x0 {
+			continue
+		}
+		// Collect time intervals of rects spanning this angular slab and
+		// measure their union length.
+		var iv [][2]int64
+		for _, r := range live {
+			if r.AngStart <= x0 && r.AngEnd >= x1 {
+				iv = append(iv, [2]int64{r.TStart, r.TEnd})
+			}
+		}
+		if len(iv) == 0 {
+			continue
+		}
+		sort.Slice(iv, func(a, b int) bool { return iv[a][0] < iv[b][0] })
+		var covered int64
+		curS, curE := iv[0][0], iv[0][1]
+		for _, t := range iv[1:] {
+			if t[0] > curE {
+				covered += curE - curS
+				curS, curE = t[0], t[1]
+			} else if t[1] > curE {
+				curE = t[1]
+			}
+		}
+		covered += curE - curS
+		total += (x1 - x0) * float64(covered)
+	}
+	return total
+}
+
+// Candidate is one contributable segment with its acquisition cost (the
+// incentive payment its provider asks, in arbitrary currency units).
+type Candidate struct {
+	ID   uint64
+	Rep  segment.Representative
+	Cost float64
+}
+
+// SetUtility evaluates U(S) for a candidate subset.
+func SetUtility(c fov.Camera, w Window, set []Candidate) float64 {
+	var rects []Rect
+	for _, cand := range set {
+		rects = append(rects, RectOf(c, cand.Rep, w)...)
+	}
+	return UnionArea(rects)
+}
+
+// Selection is the result of a maximization run.
+type Selection struct {
+	Chosen  []Candidate
+	Utility float64
+	Spent   float64
+}
+
+// GreedyK picks up to k candidates maximizing coverage by the standard
+// (1 - 1/e)-approximate greedy: repeatedly take the candidate with the
+// largest marginal utility.
+func GreedyK(c fov.Camera, w Window, cands []Candidate, k int) (Selection, error) {
+	if err := validate(c, w); err != nil {
+		return Selection{}, err
+	}
+	return greedy(c, w, cands, func(marginal, cost float64) float64 { return marginal },
+		func(sel *Selection, cand Candidate) bool { return len(sel.Chosen) < k }), nil
+}
+
+// GreedyBudget picks candidates under a total cost budget, greedily by
+// marginal-utility-per-cost (the standard budgeted submodular heuristic).
+func GreedyBudget(c fov.Camera, w Window, cands []Candidate, budget float64) (Selection, error) {
+	if err := validate(c, w); err != nil {
+		return Selection{}, err
+	}
+	if budget < 0 || math.IsNaN(budget) {
+		return Selection{}, fmt.Errorf("utility: invalid budget %v", budget)
+	}
+	return greedy(c, w, cands,
+		func(marginal, cost float64) float64 {
+			if cost <= 0 {
+				return math.Inf(1)
+			}
+			return marginal / cost
+		},
+		func(sel *Selection, cand Candidate) bool { return sel.Spent+cand.Cost <= budget }), nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func validate(c fov.Camera, w Window) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if !w.Valid() {
+		return fmt.Errorf("utility: empty window [%d, %d)", w.StartMillis, w.EndMillis)
+	}
+	return nil
+}
+
+// greedy is the shared loop: score orders candidates, admissible gates
+// them against the running selection.
+func greedy(c fov.Camera, w Window, cands []Candidate,
+	score func(marginal, cost float64) float64,
+	admissible func(*Selection, Candidate) bool) Selection {
+
+	var sel Selection
+	remaining := append([]Candidate(nil), cands...)
+	var rects []Rect
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestScore := 0.0
+		bestMarginal := 0.0
+		for i, cand := range remaining {
+			if !admissible(&sel, cand) {
+				continue
+			}
+			marginal := UnionArea(append(rects, RectOf(c, cand.Rep, w)...)) - sel.Utility
+			if marginal <= 0 {
+				continue
+			}
+			if s := score(marginal, cand.Cost); bestIdx == -1 || s > bestScore {
+				bestIdx, bestScore, bestMarginal = i, s, marginal
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		cand := remaining[bestIdx]
+		rects = append(rects, RectOf(c, cand.Rep, w)...)
+		sel.Chosen = append(sel.Chosen, cand)
+		sel.Utility += bestMarginal
+		sel.Spent += cand.Cost
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return sel
+}

@@ -1,0 +1,267 @@
+package utility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+)
+
+var (
+	cam = fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}
+	win = Window{StartMillis: 0, EndMillis: 60_000}
+)
+
+func repAt(theta float64, ts, te int64) segment.Representative {
+	return segment.Representative{
+		FoV:         fov.FoV{P: geo.Point{Lat: 40, Lng: 116.3}, Theta: theta},
+		StartMillis: ts,
+		EndMillis:   te,
+	}
+}
+
+func TestGlobalUtility(t *testing.T) {
+	if got := GlobalUtility(win); got != 360*60000 {
+		t.Fatalf("GlobalUtility = %v", got)
+	}
+}
+
+func TestRectOfBasics(t *testing.T) {
+	rects := RectOf(cam, repAt(90, 10_000, 20_000), win)
+	if len(rects) != 1 {
+		t.Fatalf("got %d rects, want 1", len(rects))
+	}
+	r := rects[0]
+	if r.AngStart != 60 || r.AngEnd != 120 {
+		t.Errorf("angular range [%v, %v], want [60, 120]", r.AngStart, r.AngEnd)
+	}
+	if r.TStart != 10_000 || r.TEnd != 20_000 {
+		t.Errorf("time range [%d, %d]", r.TStart, r.TEnd)
+	}
+	if r.Area() != 60*10_000 {
+		t.Errorf("area = %v", r.Area())
+	}
+}
+
+func TestRectOfClipsToWindow(t *testing.T) {
+	rects := RectOf(cam, repAt(90, -5_000, 70_000), win)
+	if len(rects) != 1 || rects[0].TStart != 0 || rects[0].TEnd != 60_000 {
+		t.Fatalf("clipping failed: %+v", rects)
+	}
+	// Entirely outside the window: no utility.
+	if rects := RectOf(cam, repAt(90, 70_000, 80_000), win); rects != nil {
+		t.Fatalf("out-of-window segment got rects %+v", rects)
+	}
+}
+
+func TestRectOfWrapsNorth(t *testing.T) {
+	rects := RectOf(cam, repAt(10, 0, 1000), win) // covers (340, 40)
+	if len(rects) != 2 {
+		t.Fatalf("wrap should split into 2 rects, got %d", len(rects))
+	}
+	total := rects[0].Area() + rects[1].Area()
+	if total != 60*1000 {
+		t.Fatalf("wrapped area = %v, want %v", total, 60*1000)
+	}
+}
+
+func TestUnionAreaDisjointAndOverlapping(t *testing.T) {
+	a := Rect{AngStart: 0, AngEnd: 60, TStart: 0, TEnd: 1000}
+	b := Rect{AngStart: 100, AngEnd: 160, TStart: 0, TEnd: 1000}
+	if got := UnionArea([]Rect{a, b}); got != 120*1000 {
+		t.Fatalf("disjoint union = %v", got)
+	}
+	c := Rect{AngStart: 30, AngEnd: 90, TStart: 500, TEnd: 1500}
+	got := UnionArea([]Rect{a, c})
+	want := a.Area() + c.Area() - 30*500.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("overlapping union = %v, want %v", got, want)
+	}
+	// Duplicate rect adds nothing.
+	if got := UnionArea([]Rect{a, a}); got != a.Area() {
+		t.Fatalf("duplicate union = %v", got)
+	}
+	if got := UnionArea(nil); got != 0 {
+		t.Fatalf("empty union = %v", got)
+	}
+}
+
+func TestSetUtilityPropertiesRandomized(t *testing.T) {
+	// Monotonicity and submodularity, checked numerically on random
+	// candidate pools: for S ⊂ T and any x, U(S+x) - U(S) >= U(T+x) - U(T).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		pool := randomCandidates(rng, 8)
+		s := pool[:2]
+		tt := pool[:5] // superset of s
+		x := pool[6]
+
+		us := SetUtility(cam, win, s)
+		ut := SetUtility(cam, win, tt)
+		if ut < us-1e-6 {
+			t.Fatalf("trial %d: monotonicity violated: U(T)=%v < U(S)=%v", trial, ut, us)
+		}
+		gainS := SetUtility(cam, win, append(append([]Candidate{}, s...), x)) - us
+		gainT := SetUtility(cam, win, append(append([]Candidate{}, tt...), x)) - ut
+		if gainT > gainS+1e-6 {
+			t.Fatalf("trial %d: submodularity violated: gainT %v > gainS %v", trial, gainT, gainS)
+		}
+		// Bounded by the global utility.
+		if ut > GlobalUtility(win)+1e-6 {
+			t.Fatalf("trial %d: utility exceeds global bound", trial)
+		}
+	}
+}
+
+func randomCandidates(rng *rand.Rand, n int) []Candidate {
+	out := make([]Candidate, n)
+	for i := range out {
+		start := int64(rng.Intn(50_000))
+		out[i] = Candidate{
+			ID:   uint64(i + 1),
+			Rep:  repAt(rng.Float64()*360, start, start+int64(1000+rng.Intn(20_000))),
+			Cost: 1 + rng.Float64()*9,
+		}
+	}
+	return out
+}
+
+func TestGreedyKPicksComplementaryAngles(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Rep: repAt(0, 0, 60_000), Cost: 1},
+		{ID: 2, Rep: repAt(5, 0, 60_000), Cost: 1},   // nearly duplicates 1
+		{ID: 3, Rep: repAt(120, 0, 60_000), Cost: 1}, // complementary
+	}
+	sel, err := GreedyK(cam, win, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Chosen) != 2 {
+		t.Fatalf("chose %d", len(sel.Chosen))
+	}
+	ids := map[uint64]bool{sel.Chosen[0].ID: true, sel.Chosen[1].ID: true}
+	if !ids[3] {
+		t.Fatalf("greedy ignored the complementary segment: %v", ids)
+	}
+	if ids[1] && ids[2] {
+		t.Fatal("greedy picked two near-duplicates")
+	}
+	if sel.Utility != 120*60_000 {
+		t.Fatalf("utility = %v, want %v", sel.Utility, 120*60_000)
+	}
+}
+
+func TestGreedyBudgetRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cands := randomCandidates(rng, 30)
+	sel, err := GreedyBudget(cam, win, cands, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Spent > 10 {
+		t.Fatalf("spent %v over budget 10", sel.Spent)
+	}
+	if len(sel.Chosen) == 0 || sel.Utility <= 0 {
+		t.Fatalf("budgeted greedy bought nothing: %+v", sel)
+	}
+	// More budget never hurts.
+	sel2, _ := GreedyBudget(cam, win, cands, 100)
+	if sel2.Utility < sel.Utility {
+		t.Fatalf("larger budget reduced utility: %v < %v", sel2.Utility, sel.Utility)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	if _, err := GreedyK(fov.Camera{}, win, nil, 2); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+	if _, err := GreedyK(cam, Window{5, 5}, nil, 2); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := GreedyBudget(cam, win, nil, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestGreedyNearOptimalOnCover(t *testing.T) {
+	// 6 segments tiling the circle; greedy with k=6 must achieve the
+	// full 360° coverage.
+	var cands []Candidate
+	for i := 0; i < 6; i++ {
+		cands = append(cands, Candidate{
+			ID: uint64(i + 1), Rep: repAt(float64(i)*60+30, 0, 60_000), Cost: 1,
+		})
+	}
+	sel, err := GreedyK(cam, win, cands, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Utility != GlobalUtility(win) {
+		t.Fatalf("tiling covers %v of %v", sel.Utility, GlobalUtility(win))
+	}
+}
+
+func TestOnlineMechanism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cands := randomCandidates(rng, 200)
+	budget := 40.0
+
+	m, err := NewOnlineMechanism(cam, win, budget, len(cands), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bought := 0
+	for _, cand := range cands {
+		if m.Offer(cand) {
+			bought++
+		}
+	}
+	res := m.Result()
+	if res.Spent > budget {
+		t.Fatalf("online mechanism overspent: %v > %v", res.Spent, budget)
+	}
+	if bought != len(res.Chosen) {
+		t.Fatalf("accounting mismatch: %d vs %d", bought, len(res.Chosen))
+	}
+	if bought == 0 {
+		t.Fatal("online mechanism bought nothing")
+	}
+	// Competitive sanity: at least a quarter of offline greedy under the
+	// same budget (loose, but catches broken thresholds).
+	off, err := GreedyBudget(cam, win, cands, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility*4 < off.Utility {
+		t.Fatalf("online utility %v not competitive with offline %v", res.Utility, off.Utility)
+	}
+}
+
+func TestOnlineMechanismValidation(t *testing.T) {
+	if _, err := NewOnlineMechanism(cam, win, 0, 10, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewOnlineMechanism(cam, win, 5, 0, 0); err == nil {
+		t.Fatal("zero arrivals accepted")
+	}
+	if _, err := NewOnlineMechanism(cam, win, 5, 10, 1.5); err == nil {
+		t.Fatal("bad sample fraction accepted")
+	}
+}
+
+func TestOnlineSamplingPhaseBuysNothing(t *testing.T) {
+	m, err := NewOnlineMechanism(cam, win, 100, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	cands := randomCandidates(rng, 10)
+	for i := 0; i < 4; i++ { // below the 50% switch point
+		if m.Offer(cands[i]) {
+			t.Fatal("bought during sampling phase")
+		}
+	}
+}

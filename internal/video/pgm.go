@@ -1,0 +1,69 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePGM serializes the frame as a binary PGM (P5) image — the
+// simplest portable grayscale format, viewable everywhere. It is how the
+// repository materializes rendered frames and similarity heatmaps for
+// human inspection.
+func (f *Frame) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(f.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the frame to a file.
+func (f *Frame) SavePGM(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = f.WritePGM(file)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// HeatmapPGM renders a [0,1]-valued matrix as a grayscale image (1 =
+// white), scaled up by the given integer factor so small matrices are
+// visible — the form in which the paper's Fig. 5 "similarity rectangles"
+// are reproduced.
+func HeatmapPGM(m [][]float64, scale int) *Frame {
+	if scale < 1 {
+		scale = 1
+	}
+	n := len(m)
+	if n == 0 {
+		return NewFrame(1, 1)
+	}
+	f := NewFrame(n*scale, n*scale)
+	for i := 0; i < n; i++ {
+		for j := 0; j < len(m[i]); j++ {
+			v := m[i][j]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			g := uint8(v * 255)
+			for dy := 0; dy < scale; dy++ {
+				row := f.Pix[(i*scale+dy)*f.W:]
+				for dx := 0; dx < scale; dx++ {
+					row[j*scale+dx] = g
+				}
+			}
+		}
+	}
+	return f
+}

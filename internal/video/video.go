@@ -1,0 +1,76 @@
+// Package video provides the minimal video-frame substrate the CV
+// baseline operates on: grayscale frames at the standard mobile
+// resolutions the paper's Fig. 6(a) sweeps.
+//
+// The paper's evaluation compares FoV-based processing against
+// OpenCV-style frame differencing on real phone footage; this repository
+// renders synthetic frames (package render) into these buffers instead,
+// which exercises the identical pixel-processing code paths at the
+// identical per-resolution cost.
+package video
+
+import "fmt"
+
+// Frame is a grayscale image. Pixels are stored row-major, one byte each.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewFrame allocates a zeroed frame.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid frame size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y). The caller must stay in bounds.
+func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
+
+// Set writes the pixel at (x, y). The caller must stay in bounds.
+func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
+
+// Fill sets every pixel to v.
+func (f *Frame) Fill(v uint8) {
+	for i := range f.Pix {
+		f.Pix[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// SizeBytes returns the raw frame size — the number the paper's traffic
+// comparison holds against the FoV descriptor's handful of bytes.
+func (f *Frame) SizeBytes() int { return len(f.Pix) }
+
+// Resolution is a named frame geometry.
+type Resolution struct {
+	Name string
+	W, H int
+}
+
+// The standard 16:9 mobile capture resolutions of Fig. 6(a).
+var (
+	R240  = Resolution{"240p", 426, 240}
+	R360  = Resolution{"360p", 640, 360}
+	R480  = Resolution{"480p", 854, 480}
+	R720  = Resolution{"720p", 1280, 720}
+	R1080 = Resolution{"1080p", 1920, 1080}
+)
+
+// Resolutions lists the sweep order used by benchmarks.
+var Resolutions = []Resolution{R240, R360, R480, R720, R1080}
+
+// New allocates a frame at this resolution.
+func (r Resolution) New() *Frame { return NewFrame(r.W, r.H) }
+
+// Pixels returns the pixel count.
+func (r Resolution) Pixels() int { return r.W * r.H }
+
+func (r Resolution) String() string { return r.Name }

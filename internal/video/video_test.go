@@ -1,0 +1,152 @@
+package video
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestNewFrame(t *testing.T) {
+	f := NewFrame(4, 3)
+	if f.W != 4 || f.H != 3 || len(f.Pix) != 12 {
+		t.Fatalf("frame geometry wrong: %+v", f)
+	}
+	for _, p := range f.Pix {
+		if p != 0 {
+			t.Fatal("new frame not zeroed")
+		}
+	}
+}
+
+func TestNewFramePanicsOnBadSize(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewFrame(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Set(2, 1, 200)
+	if got := f.At(2, 1); got != 200 {
+		t.Fatalf("At = %d, want 200", got)
+	}
+	if f.Pix[1*4+2] != 200 {
+		t.Fatal("row-major layout broken")
+	}
+}
+
+func TestFill(t *testing.T) {
+	f := NewFrame(3, 3)
+	f.Fill(77)
+	for _, p := range f.Pix {
+		if p != 77 {
+			t.Fatal("Fill incomplete")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := NewFrame(2, 2)
+	f.Fill(10)
+	g := f.Clone()
+	g.Set(0, 0, 99)
+	if f.At(0, 0) != 10 {
+		t.Fatal("clone shares backing storage")
+	}
+	if g.At(1, 1) != 10 {
+		t.Fatal("clone did not copy pixels")
+	}
+}
+
+func TestResolutions(t *testing.T) {
+	cases := []struct {
+		r    Resolution
+		w, h int
+	}{
+		{R240, 426, 240},
+		{R360, 640, 360},
+		{R480, 854, 480},
+		{R720, 1280, 720},
+		{R1080, 1920, 1080},
+	}
+	for _, c := range cases {
+		if c.r.W != c.w || c.r.H != c.h {
+			t.Errorf("%s = %dx%d, want %dx%d", c.r, c.r.W, c.r.H, c.w, c.h)
+		}
+		f := c.r.New()
+		if f.SizeBytes() != c.r.Pixels() {
+			t.Errorf("%s: SizeBytes %d != Pixels %d", c.r, f.SizeBytes(), c.r.Pixels())
+		}
+	}
+	if len(Resolutions) != 5 {
+		t.Fatalf("Resolutions has %d entries", len(Resolutions))
+	}
+	for i := 1; i < len(Resolutions); i++ {
+		if Resolutions[i].Pixels() <= Resolutions[i-1].Pixels() {
+			t.Fatal("Resolutions not in ascending pixel order")
+		}
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	f := NewFrame(3, 2)
+	f.Set(0, 0, 10)
+	f.Set(2, 1, 250)
+	var buf bytes.Buffer
+	if err := f.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	wantHeader := "P5\n3 2\n255\n"
+	if !bytes.HasPrefix(data, []byte(wantHeader)) {
+		t.Fatalf("header = %q", data[:len(wantHeader)])
+	}
+	pix := data[len(wantHeader):]
+	if len(pix) != 6 || pix[0] != 10 || pix[5] != 250 {
+		t.Fatalf("pixels = %v", pix)
+	}
+}
+
+func TestSavePGM(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Fill(128)
+	path := t.TempDir() + "/frame.pgm"
+	if err := f.SavePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len("P5\n4 4\n255\n")+16 {
+		t.Fatalf("file size %d", len(data))
+	}
+}
+
+func TestHeatmapPGM(t *testing.T) {
+	m := [][]float64{{1, 0}, {0.5, -2}}
+	f := HeatmapPGM(m, 3)
+	if f.W != 6 || f.H != 6 {
+		t.Fatalf("geometry %dx%d", f.W, f.H)
+	}
+	if f.At(0, 0) != 255 || f.At(3, 0) != 0 {
+		t.Fatalf("top row pixels %d %d", f.At(0, 0), f.At(3, 0))
+	}
+	if f.At(0, 3) != 127 {
+		t.Fatalf("0.5 mapped to %d", f.At(0, 3))
+	}
+	if f.At(3, 3) != 0 {
+		t.Fatal("clamping failed")
+	}
+	// Scale < 1 clamps; empty matrix degrades gracefully.
+	if g := HeatmapPGM(nil, 0); g.W != 1 || g.H != 1 {
+		t.Fatalf("empty heatmap %dx%d", g.W, g.H)
+	}
+}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+)
+
+// repSpec is a quick-generatable representative.
+type repSpec struct {
+	Lat, Lng, Theta float64
+	Start, Dur      int64
+}
+
+func (r repSpec) rep() (segment.Representative, bool) {
+	for _, v := range []float64{r.Lat, r.Lng, r.Theta} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return segment.Representative{}, false
+		}
+	}
+	start := r.Start
+	if start < 0 {
+		start = -start
+	}
+	start %= 1 << 50
+	dur := r.Dur
+	if dur < 0 {
+		dur = -dur
+	}
+	dur %= 1 << 30
+	return segment.Representative{
+		FoV: fov.FoV{
+			P: geo.Point{
+				Lat: math.Mod(r.Lat, 90),
+				Lng: math.Mod(r.Lng, 180),
+			},
+			Theta: geo.NormalizeDeg(r.Theta),
+		},
+		StartMillis: start,
+		EndMillis:   start + dur,
+	}, true
+}
+
+// TestQuickRoundTripPreservesSemantics: encode/decode of any valid upload
+// preserves identity exactly and pose within fixed-point precision.
+func TestQuickRoundTripPreservesSemantics(t *testing.T) {
+	f := func(specs []repSpec, provSeed uint8) bool {
+		u := Upload{Provider: string(rune('a' + provSeed%26))}
+		for _, s := range specs {
+			rep, ok := s.rep()
+			if !ok {
+				continue
+			}
+			u.Reps = append(u.Reps, rep)
+		}
+		data, err := EncodeBinary(u)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBinary(data)
+		if err != nil {
+			return false
+		}
+		if got.Provider != u.Provider || len(got.Reps) != len(u.Reps) {
+			return false
+		}
+		for i := range u.Reps {
+			a, b := u.Reps[i], got.Reps[i]
+			if a.StartMillis != b.StartMillis || a.EndMillis != b.EndMillis {
+				return false
+			}
+			if math.Abs(a.FoV.P.Lat-b.FoV.P.Lat) > 1.1e-7 ||
+				math.Abs(a.FoV.P.Lng-b.FoV.P.Lng) > 1.1e-7 {
+				return false
+			}
+			if geo.AngleDiff(a.FoV.Theta, b.FoV.Theta) > 0.006 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics: arbitrary bytes either decode to valid
+// uploads or fail cleanly.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		u, err := DecodeBinary(data)
+		if err != nil {
+			return true
+		}
+		for _, r := range u.Reps {
+			if r.FoV.Validate() != nil || r.EndMillis < r.StartMillis {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

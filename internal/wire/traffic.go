@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"sync/atomic"
+
+	"fovr/internal/video"
+)
+
+// TrafficMeter counts bytes crossing the client-server boundary. It is
+// safe for concurrent use; the server and client both hold one so the
+// benchmarks can report the exact networking cost of the content-free
+// scheme.
+type TrafficMeter struct {
+	sent     atomic.Int64
+	received atomic.Int64
+}
+
+// AddSent records outgoing bytes.
+func (m *TrafficMeter) AddSent(n int) { m.sent.Add(int64(n)) }
+
+// AddReceived records incoming bytes.
+func (m *TrafficMeter) AddReceived(n int) { m.received.Add(int64(n)) }
+
+// Sent returns total outgoing bytes.
+func (m *TrafficMeter) Sent() int64 { return m.sent.Load() }
+
+// Received returns total incoming bytes.
+func (m *TrafficMeter) Received() int64 { return m.received.Load() }
+
+// Reset zeroes both counters.
+func (m *TrafficMeter) Reset() {
+	m.sent.Store(0)
+	m.received.Store(0)
+}
+
+// RawVideoBytes estimates the size of the raw video a data-centric
+// system would have uploaded instead of the descriptor: durationSec of
+// footage at the given resolution and frame rate, with bitsPerPixel of
+// codec output (H.264 street footage runs ~0.1 bit/pixel; raw grayscale
+// is 8). This is the denominator of the paper's traffic-reduction claim.
+func RawVideoBytes(res video.Resolution, fps, durationSec, bitsPerPixel float64) int64 {
+	return int64(float64(res.Pixels()) * fps * durationSec * bitsPerPixel / 8)
+}

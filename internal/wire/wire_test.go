@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+	"fovr/internal/video"
+)
+
+func randUpload(rng *rand.Rand, n int) Upload {
+	u := Upload{Provider: "provider-7"}
+	base := geo.Point{Lat: 40.0, Lng: 116.326}
+	t := int64(rng.Intn(1_000_000))
+	for i := 0; i < n; i++ {
+		p := geo.Offset(base, rng.Float64()*360, rng.Float64()*5000)
+		dur := int64(1000 + rng.Intn(120_000))
+		u.Reps = append(u.Reps, segment.Representative{
+			FoV:         fov.FoV{P: p, Theta: rng.Float64() * 360},
+			StartMillis: t,
+			EndMillis:   t + dur,
+		})
+		t += dur
+	}
+	return u
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := randUpload(rng, 100)
+	data, err := EncodeBinary(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Provider != u.Provider || len(got.Reps) != len(u.Reps) {
+		t.Fatalf("shape mismatch: %q/%d vs %q/%d", got.Provider, len(got.Reps), u.Provider, len(u.Reps))
+	}
+	for i := range u.Reps {
+		a, b := u.Reps[i], got.Reps[i]
+		if math.Abs(a.FoV.P.Lat-b.FoV.P.Lat) > 1.1e-7 || math.Abs(a.FoV.P.Lng-b.FoV.P.Lng) > 1.1e-7 {
+			t.Fatalf("rep %d: position error beyond fixed-point precision", i)
+		}
+		if geo.AngleDiff(a.FoV.Theta, b.FoV.Theta) > 0.006 {
+			t.Fatalf("rep %d: theta error %v beyond centidegree", i, geo.AngleDiff(a.FoV.Theta, b.FoV.Theta))
+		}
+		if a.StartMillis != b.StartMillis || a.EndMillis != b.EndMillis {
+			t.Fatalf("rep %d: interval changed", i)
+		}
+	}
+}
+
+func TestBinaryEmptyUpload(t *testing.T) {
+	u := Upload{Provider: "p"}
+	data, err := EncodeBinary(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Provider != "p" || len(got.Reps) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBinarySizePerRep(t *testing.T) {
+	// The content-free descriptor must be tens of bytes per segment —
+	// this is the abstract's headline claim.
+	rng := rand.New(rand.NewSource(2))
+	u := randUpload(rng, 1000)
+	data, err := EncodeBinary(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRep := float64(len(data)) / 1000
+	if perRep > 24 {
+		t.Fatalf("binary encoding uses %.1f bytes/rep; want <= 24", perRep)
+	}
+	// And it must beat JSON by a wide margin.
+	js, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data)*3 > len(js) {
+		t.Fatalf("binary %d B vs JSON %d B: expected >= 3x saving", len(data), len(js))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("not the format"),
+		{0, 0, 0, 0},
+	}
+	for i, data := range cases {
+		if _, err := DecodeBinary(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data, err := EncodeBinary(randUpload(rng, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail, never panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must fail too.
+	if _, err := DecodeBinary(append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDecodeRejectsFuzzedMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	orig, err := EncodeBinary(randUpload(rng, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random single-byte mutations either decode to *valid* reps or
+	// error; they never panic and never produce invalid FoVs.
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte{}, orig...)
+		data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		u, err := DecodeBinary(data)
+		if err != nil {
+			continue
+		}
+		for i, r := range u.Reps {
+			if err := r.FoV.Validate(); err != nil {
+				t.Fatalf("trial %d: decoded invalid rep %d: %v", trial, i, err)
+			}
+			if r.EndMillis < r.StartMillis {
+				t.Fatalf("trial %d: decoded inverted interval", trial)
+			}
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := EncodeBinary(Upload{Provider: strings.Repeat("x", MaxProviderLen+1)}); err == nil {
+		t.Fatal("oversized provider accepted")
+	}
+	bad := Upload{Provider: "p", Reps: []segment.Representative{{
+		FoV:         fov.FoV{P: geo.Point{Lat: 99, Lng: 0}},
+		StartMillis: 0, EndMillis: 1,
+	}}}
+	if _, err := EncodeBinary(bad); err == nil {
+		t.Fatal("invalid FoV accepted")
+	}
+	inverted := Upload{Provider: "p", Reps: []segment.Representative{{
+		FoV:         fov.FoV{P: geo.Point{Lat: 40, Lng: 116}},
+		StartMillis: 10, EndMillis: 5,
+	}}}
+	if _, err := EncodeBinary(inverted); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestTrafficMeter(t *testing.T) {
+	var m TrafficMeter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.AddSent(3)
+				m.AddReceived(5)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Sent() != 24000 || m.Received() != 40000 {
+		t.Fatalf("sent %d received %d", m.Sent(), m.Received())
+	}
+	m.Reset()
+	if m.Sent() != 0 || m.Received() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestRawVideoBytes(t *testing.T) {
+	// 60 s of 480p at 30 fps, H.264-ish 0.1 bpp: ~9.2 MB.
+	got := RawVideoBytes(video.R480, 30, 60, 0.1)
+	want := int64(854 * 480 * 30 * 60 / 80)
+	if got != want {
+		t.Fatalf("RawVideoBytes = %d, want %d", got, want)
+	}
+	// The descriptor-vs-video gap that motivates the whole system: a
+	// 60 s walking video segments into a handful of reps (~tens of
+	// bytes); raw video is 5+ orders of magnitude larger.
+	if got < 1_000_000 {
+		t.Fatal("video size model implausibly small")
+	}
+}
+
+func TestCameraBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	u := randUpload(rng, 5)
+	u.Camera = fov.Camera{HalfAngleDeg: 35.25, RadiusMeters: 72.5}
+	data, err := EncodeBinary(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Camera != u.Camera {
+		t.Fatalf("camera round trip: %+v vs %+v", got.Camera, u.Camera)
+	}
+	// Without a camera the zero value survives.
+	u.Camera = fov.Camera{}
+	data, err = EncodeBinary(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Camera != (fov.Camera{}) {
+		t.Fatalf("phantom camera decoded: %+v", got.Camera)
+	}
+}
+
+func TestEncodeRejectsInvalidCamera(t *testing.T) {
+	u := Upload{Provider: "p", Camera: fov.Camera{HalfAngleDeg: 120, RadiusMeters: 10}}
+	if _, err := EncodeBinary(u); err == nil {
+		t.Fatal("invalid camera accepted")
+	}
+}
+
+func TestDecodeVersion1Compat(t *testing.T) {
+	// Hand-build a v1 payload: magic 'FoV'+1, provider, count, one rep.
+	var buf bytes.Buffer
+	buf.WriteString("FoV")
+	buf.WriteByte(1)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { n := binary.PutUvarint(tmp[:], v); buf.Write(tmp[:n]) }
+	put(1)
+	buf.WriteString("p")
+	put(1) // one rep
+	var fixed [10]byte
+	binary.LittleEndian.PutUint32(fixed[0:], uint32(int32(40_0000000)))
+	binary.LittleEndian.PutUint32(fixed[4:], uint32(int32(116_3000000)))
+	binary.LittleEndian.PutUint16(fixed[8:], 9000) // 90.00 degrees
+	buf.Write(fixed[:])
+	put(1000) // start
+	put(500)  // duration
+
+	u, err := DecodeBinary(buf.Bytes())
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	if u.Provider != "p" || len(u.Reps) != 1 || u.Camera != (fov.Camera{}) {
+		t.Fatalf("v1 decode = %+v", u)
+	}
+	if u.Reps[0].FoV.Theta != 90 || u.Reps[0].EndMillis != 1500 {
+		t.Fatalf("v1 rep = %+v", u.Reps[0])
+	}
+	// Unknown versions are rejected.
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[3] = 9
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package workload generates the citywide simulated datasets the paper's
+// indexing and retrieval evaluation runs on (Section VI-B: "we randomly
+// simulate citywide representative FoVs and perform insertion and search
+// operations").
+//
+// Two spatial distributions are provided: Uniform (FoVs scattered evenly
+// over the city box) and Hotspot (a configurable number of Gaussian
+// activity clusters — stadiums, crossings, campuses — plus a uniform
+// background), the latter being the realistic shape for crowd-sourced
+// capture. Everything is deterministic given the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/index"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+)
+
+// Distribution selects the spatial layout of generated FoVs.
+type Distribution int
+
+const (
+	// Uniform scatters FoVs evenly over the city.
+	Uniform Distribution = iota
+	// Hotspot concentrates most FoVs around a few activity centers.
+	Hotspot
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Hotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Config describes a citywide dataset.
+type Config struct {
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Center is the city center.
+	Center geo.Point
+	// ExtentMeters is the half-width of the square city box.
+	ExtentMeters float64
+	// HorizonMillis is the capture-time horizon: segment start times are
+	// uniform in [0, HorizonMillis).
+	HorizonMillis int64
+	// MaxSegmentMillis bounds segment durations (uniform in
+	// [1s, MaxSegmentMillis]).
+	MaxSegmentMillis int64
+	// Distribution selects Uniform or Hotspot.
+	Distribution Distribution
+	// Hotspots is the number of activity clusters (Hotspot only).
+	Hotspots int
+	// HotspotSigmaMeters is the cluster spread (Hotspot only).
+	HotspotSigmaMeters float64
+	// Providers is the number of distinct contributing clients.
+	Providers int
+}
+
+// DefaultConfig is a 10 km-wide city observed for 24 hours.
+var DefaultConfig = Config{
+	Seed:               1,
+	Center:             geo.Point{Lat: 40.0, Lng: 116.326},
+	ExtentMeters:       5000,
+	HorizonMillis:      24 * 3600 * 1000,
+	MaxSegmentMillis:   120_000,
+	Distribution:       Uniform,
+	Hotspots:           8,
+	HotspotSigmaMeters: 300,
+	Providers:          200,
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig
+	if c.Center == (geo.Point{}) {
+		c.Center = d.Center
+	}
+	if c.ExtentMeters <= 0 {
+		c.ExtentMeters = d.ExtentMeters
+	}
+	if c.HorizonMillis <= 0 {
+		c.HorizonMillis = d.HorizonMillis
+	}
+	if c.MaxSegmentMillis <= 0 {
+		c.MaxSegmentMillis = d.MaxSegmentMillis
+	}
+	if c.Hotspots <= 0 {
+		c.Hotspots = d.Hotspots
+	}
+	if c.HotspotSigmaMeters <= 0 {
+		c.HotspotSigmaMeters = d.HotspotSigmaMeters
+	}
+	if c.Providers <= 0 {
+		c.Providers = d.Providers
+	}
+	return c
+}
+
+// Entries generates n indexable representative FoVs.
+func Entries(cfg Config, n int) []index.Entry {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var centers []geo.Point
+	if cfg.Distribution == Hotspot {
+		centers = make([]geo.Point, cfg.Hotspots)
+		for i := range centers {
+			centers[i] = uniformPoint(rng, cfg)
+		}
+	}
+
+	out := make([]index.Entry, n)
+	for i := 0; i < n; i++ {
+		var p geo.Point
+		if cfg.Distribution == Hotspot && rng.Float64() < 0.8 {
+			// 80% of captures happen around hotspots.
+			c := centers[rng.Intn(len(centers))]
+			p = geo.Offset(c, rng.Float64()*360,
+				absNorm(rng)*cfg.HotspotSigmaMeters)
+		} else {
+			p = uniformPoint(rng, cfg)
+		}
+		start := int64(rng.Float64() * float64(cfg.HorizonMillis))
+		dur := 1000 + int64(rng.Float64()*float64(cfg.MaxSegmentMillis-1000))
+		out[i] = index.Entry{
+			ID:       uint64(i + 1),
+			Provider: fmt.Sprintf("provider-%03d", rng.Intn(cfg.Providers)),
+			Rep: segment.Representative{
+				FoV: fov.FoV{
+					P:     p,
+					Theta: rng.Float64() * 360,
+				},
+				StartMillis: start,
+				EndMillis:   start + dur,
+			},
+		}
+	}
+	return out
+}
+
+// Queries generates m retrieval requests against the same city: centers
+// follow the dataset distribution (queriers look where activity is), with
+// the given search radius and a time window of windowMillis placed
+// uniformly in the horizon.
+func Queries(cfg Config, m int, radiusMeters float64, windowMillis int64) []query.Query {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
+	out := make([]query.Query, m)
+	for i := 0; i < m; i++ {
+		start := int64(rng.Float64() * float64(cfg.HorizonMillis-windowMillis))
+		out[i] = query.Query{
+			StartMillis:  start,
+			EndMillis:    start + windowMillis,
+			Center:       uniformPoint(rng, cfg),
+			RadiusMeters: radiusMeters,
+		}
+	}
+	return out
+}
+
+func uniformPoint(rng *rand.Rand, cfg Config) geo.Point {
+	east := (rng.Float64()*2 - 1) * cfg.ExtentMeters
+	north := (rng.Float64()*2 - 1) * cfg.ExtentMeters
+	p := geo.Offset(cfg.Center, 90, east)
+	return geo.Offset(p, 0, north)
+}
+
+func absNorm(rng *rand.Rand) float64 {
+	v := rng.NormFloat64()
+	if v < 0 {
+		return -v
+	}
+	return v
+}

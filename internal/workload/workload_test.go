@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fovr/internal/geo"
+)
+
+func TestEntriesDeterministic(t *testing.T) {
+	a := Entries(Config{Seed: 3}, 500)
+	b := Entries(Config{Seed: 3}, 500)
+	if len(a) != 500 {
+		t.Fatalf("got %d entries", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := Entries(Config{Seed: 4}, 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestEntriesValidAndInBox(t *testing.T) {
+	cfg := Config{Seed: 1, ExtentMeters: 2000, HorizonMillis: 3_600_000}
+	entries := Entries(cfg, 1000)
+	seen := map[uint64]bool{}
+	full := cfg.withDefaults()
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("entry %d invalid: %v", i, err)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %d", e.ID)
+		}
+		seen[e.ID] = true
+		// Position within the box (with slack for the equirectangular
+		// round trip).
+		v := geo.Displacement(full.Center, e.Rep.FoV.P)
+		if math.Abs(v.East) > 2100 || math.Abs(v.North) > 2100 {
+			t.Fatalf("entry %d at %v escapes the 2 km box", i, v)
+		}
+		if e.Rep.StartMillis < 0 || e.Rep.StartMillis >= 3_600_000 {
+			t.Fatalf("entry %d start %d outside horizon", i, e.Rep.StartMillis)
+		}
+		if e.Rep.EndMillis <= e.Rep.StartMillis {
+			t.Fatalf("entry %d has empty segment", i)
+		}
+		if e.Rep.FoV.Theta < 0 || e.Rep.FoV.Theta >= 360 {
+			t.Fatalf("entry %d theta %v out of range", i, e.Rep.FoV.Theta)
+		}
+		if e.Provider == "" {
+			t.Fatalf("entry %d has no provider", i)
+		}
+	}
+}
+
+func TestHotspotConcentrates(t *testing.T) {
+	// Clustering shrinks the mean nearest-neighbour distance: sample 200
+	// entries from each dataset and compare.
+	const n = 4000
+	points := func(d Distribution) []geo.Point {
+		es := Entries(Config{Seed: 7, Distribution: d, Hotspots: 3}, n)
+		out := make([]geo.Point, len(es))
+		for i, e := range es {
+			out[i] = e.Rep.FoV.P
+		}
+		return out
+	}
+	sampleNN := func(ps []geo.Point) float64 {
+		sum := 0.0
+		const count = 200
+		for i := 0; i < count; i++ {
+			best := math.Inf(1)
+			for j := range ps {
+				if j == i {
+					continue
+				}
+				if d := geo.Distance(ps[i], ps[j]); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / count
+	}
+	nnU := sampleNN(points(Uniform))
+	nnH := sampleNN(points(Hotspot))
+	if nnH >= nnU {
+		t.Fatalf("hotspot NN distance %v not smaller than uniform %v", nnH, nnU)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	cfg := Config{Seed: 2, HorizonMillis: 1_000_000}
+	qs := Queries(cfg, 300, 50, 60_000)
+	if len(qs) != 300 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+		if q.RadiusMeters != 50 {
+			t.Fatalf("query %d radius %v", i, q.RadiusMeters)
+		}
+		if q.EndMillis-q.StartMillis != 60_000 {
+			t.Fatalf("query %d window %d", i, q.EndMillis-q.StartMillis)
+		}
+		if q.EndMillis > 1_000_000 {
+			t.Fatalf("query %d escapes horizon", i)
+		}
+	}
+	// Deterministic.
+	qs2 := Queries(cfg, 300, 50, 60_000)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("queries not deterministic")
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Hotspot.String() != "hotspot" {
+		t.Fatal("distribution names wrong")
+	}
+	if Distribution(9).String() == "" {
+		t.Fatal("unknown distribution has empty name")
+	}
+}

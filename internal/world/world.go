@@ -1,0 +1,123 @@
+// Package world models the synthetic outdoor scene the CV baseline films.
+//
+// The paper evaluates its FoV similarity against frame differencing on
+// real street footage. We substitute a deterministic procedurally
+// generated city: a field of point landmarks (poles, signs, facades) laid
+// out on a jittered grid, each with a hash-derived height and brightness.
+// A camera moving through this world sees landmarks shift exactly as
+// street furniture does — rotation pans them across the image, forward
+// translation makes them loom, sideways translation produces parallax —
+// which is all frame differencing ever measures. The substitution is
+// documented in DESIGN.md.
+//
+// Everything is deterministic in (Seed, cell): two renders of the same
+// pose always produce identical frames.
+package world
+
+import "math"
+
+// Landmark is one visible scene element in local east-north coordinates
+// (meters, relative to the world origin).
+type Landmark struct {
+	East, North float64
+	// Height is the apparent physical height in meters (1-12 m).
+	Height float64
+	// Width is the apparent physical width in meters (3-12 m).
+	Width float64
+	// Brightness is the surface intensity (32..224).
+	Brightness uint8
+}
+
+// World is a procedural landmark field.
+type World struct {
+	// Seed selects the city layout.
+	Seed uint64
+	// CellMeters is the grid pitch; one potential landmark per cell.
+	// Zero selects the 12 m default.
+	CellMeters float64
+	// Density is the probability a cell contains a landmark, in [0, 1].
+	// Zero selects the 0.35 default.
+	Density float64
+}
+
+// Default is a street-scene-like landmark field.
+var Default = World{Seed: 1}
+
+func (w World) cell() float64 {
+	if w.CellMeters <= 0 {
+		return 12
+	}
+	return w.CellMeters
+}
+
+func (w World) density() float64 {
+	if w.Density <= 0 {
+		return 0.35
+	}
+	return w.Density
+}
+
+// hash64 is SplitMix64 — a small, high-quality deterministic mixer.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// cellHash mixes the seed with a signed cell coordinate pair.
+func (w World) cellHash(cx, cy int64) uint64 {
+	h := hash64(w.Seed ^ hash64(uint64(cx)))
+	return hash64(h ^ hash64(uint64(cy)))
+}
+
+// unit maps hash bits to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// landmarkAt returns the landmark of cell (cx, cy), if the cell has one.
+func (w World) landmarkAt(cx, cy int64) (Landmark, bool) {
+	h := w.cellHash(cx, cy)
+	if unit(h) >= w.density() {
+		return Landmark{}, false
+	}
+	cell := w.cell()
+	h2 := hash64(h)
+	h3 := hash64(h2)
+	h4 := hash64(h3)
+	h5 := hash64(h4)
+	return Landmark{
+		East:       (float64(cx) + unit(h2)) * cell,
+		North:      (float64(cy) + unit(h3)) * cell,
+		Height:     1 + unit(h4)*11,
+		Width:      3 + unit(h5)*9,
+		Brightness: uint8(32 + unit(hash64(h5))*192),
+	}, true
+}
+
+// Near returns every landmark within radius meters of the point
+// (east, north), appended to dst. The scan is bounded to the covered grid
+// cells, so cost is O(radius^2 / cell^2).
+func (w World) Near(east, north, radius float64, dst []Landmark) []Landmark {
+	cell := w.cell()
+	minX := int64(math.Floor((east - radius) / cell))
+	maxX := int64(math.Floor((east + radius) / cell))
+	minY := int64(math.Floor((north - radius) / cell))
+	maxY := int64(math.Floor((north + radius) / cell))
+	r2 := radius * radius
+	for cy := minY; cy <= maxY; cy++ {
+		for cx := minX; cx <= maxX; cx++ {
+			lm, ok := w.landmarkAt(cx, cy)
+			if !ok {
+				continue
+			}
+			dE := lm.East - east
+			dN := lm.North - north
+			if dE*dE+dN*dN <= r2 {
+				dst = append(dst, lm)
+			}
+		}
+	}
+	return dst
+}

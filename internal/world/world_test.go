@@ -1,0 +1,123 @@
+package world
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	w := World{Seed: 7}
+	a := w.Near(100, 200, 80, nil)
+	b := w.Near(100, 200, 80, nil)
+	if len(a) == 0 {
+		t.Fatal("no landmarks found; density broken")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("landmark %d differs between identical queries", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := World{Seed: 1}.Near(0, 0, 60, nil)
+	b := World{Seed: 2}.Near(0, 0, 60, nil)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("two seeds produced identical worlds")
+		}
+	}
+}
+
+func TestNearRespectsRadius(t *testing.T) {
+	w := World{Seed: 3}
+	const r = 50.0
+	for _, lm := range w.Near(10, -20, r, nil) {
+		d := math.Hypot(lm.East-10, lm.North+20)
+		if d > r {
+			t.Fatalf("landmark at distance %v > radius %v", d, r)
+		}
+	}
+}
+
+func TestNearGrowsWithRadius(t *testing.T) {
+	w := World{Seed: 4}
+	small := len(w.Near(0, 0, 20, nil))
+	large := len(w.Near(0, 0, 100, nil))
+	if large <= small {
+		t.Fatalf("100 m query found %d landmarks, 20 m found %d", large, small)
+	}
+	// Every small-radius landmark must also be in the large-radius set.
+	largeSet := map[Landmark]bool{}
+	for _, lm := range w.Near(0, 0, 100, nil) {
+		largeSet[lm] = true
+	}
+	for _, lm := range w.Near(0, 0, 20, nil) {
+		if !largeSet[lm] {
+			t.Fatal("small-radius landmark missing from large-radius query")
+		}
+	}
+}
+
+func TestDensityControlsCount(t *testing.T) {
+	sparse := World{Seed: 5, Density: 0.1}
+	dense := World{Seed: 5, Density: 0.9}
+	ns := len(sparse.Near(0, 0, 100, nil))
+	nd := len(dense.Near(0, 0, 100, nil))
+	if nd <= ns*3 {
+		t.Fatalf("density 0.9 found %d, density 0.1 found %d; expected ~9x", nd, ns)
+	}
+}
+
+func TestLandmarkFieldsInRange(t *testing.T) {
+	w := World{Seed: 6}
+	lms := w.Near(0, 0, 150, nil)
+	if len(lms) < 50 {
+		t.Fatalf("only %d landmarks in 150 m; default density broken", len(lms))
+	}
+	for _, lm := range lms {
+		if lm.Height < 1 || lm.Height > 12 {
+			t.Fatalf("height %v out of [1, 12]", lm.Height)
+		}
+		if lm.Width < 3 || lm.Width > 12 {
+			t.Fatalf("width %v out of [3, 12]", lm.Width)
+		}
+		if lm.Brightness < 32 {
+			t.Fatalf("brightness %d below floor", lm.Brightness)
+		}
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	w := World{Seed: 8}
+	prefix := []Landmark{{East: -1}}
+	out := w.Near(0, 0, 40, prefix)
+	if len(out) <= 1 || out[0].East != -1 {
+		t.Fatal("Near must append to dst")
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	// Cells at negative east/north must hash consistently (int64 cast).
+	w := World{Seed: 9}
+	a := w.Near(-500, -500, 60, nil)
+	b := w.Near(-500, -500, 60, nil)
+	if len(a) == 0 {
+		t.Fatal("no landmarks in negative quadrant")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("negative-coordinate query non-deterministic")
+		}
+	}
+}
