@@ -8,21 +8,47 @@
 //	fovbench -table traffic   # one table: traffic, utility, ablation
 //	fovbench -csv             # CSV instead of aligned ASCII
 //	fovbench -quick           # smaller sizes (CI-friendly)
+//	fovbench -json results.json  # machine-readable results ("" disables)
+//
+// Alongside the human-readable output, every run writes the results as
+// JSON (default BENCH_<date>.json) so regression tooling can diff runs
+// without scraping ASCII tables.
 //
 // The mapping from paper figure to experiment is documented in DESIGN.md;
 // measured outputs are recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"fovr/internal/figures"
 )
+
+// benchResult is the JSON record for one table: the grid verbatim plus
+// how long the experiment took to regenerate.
+type benchResult struct {
+	Key       string     `json:"key"`
+	Title     string     `json:"title"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsedMillis"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"goVersion"`
+	Quick     bool          `json:"quick"`
+	Results   []benchResult `json:"results"`
+}
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 3, 4, 5, 6a, 6b, 6c (empty = all)")
@@ -30,6 +56,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned ASCII")
 	quick := flag.Bool("quick", false, "smaller dataset sizes")
 	outdir := flag.String("outdir", "", "also write each table as <outdir>/<key>.csv")
+	jsonOut := flag.String("json", "BENCH_"+time.Now().Format("2006-01-02")+".json",
+		"write machine-readable results to this file (empty disables)")
 	flag.Parse()
 
 	if *outdir != "" {
@@ -93,13 +121,18 @@ func main() {
 		return false
 	}
 
-	ran := 0
+	report := benchReport{
+		Date:      time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Quick:     *quick,
+	}
 	for _, j := range jobs {
 		if !selected(j) {
 			continue
 		}
 		start := time.Now()
 		tab := j.run()
+		elapsed := time.Since(start)
 		if *csv {
 			fmt.Print(tab.CSV())
 		} else {
@@ -112,12 +145,31 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
-		ran++
+		report.Results = append(report.Results, benchResult{
+			Key:       j.key,
+			Title:     tab.Title,
+			Columns:   tab.Columns,
+			Rows:      tab.Rows,
+			Notes:     tab.Notes,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		})
+		fmt.Printf("(regenerated in %v)\n\n", elapsed.Round(time.Millisecond))
 	}
-	if ran == 0 {
+	if len(report.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "fovbench: nothing matched -fig %q -table %q\n", *fig, *table)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fovbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(report.Results), *jsonOut)
 	}
 	// With an output directory and Fig. 5 in scope, also materialize the
 	// similarity rectangles as images (the paper's heatmaps).

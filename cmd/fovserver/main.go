@@ -6,19 +6,28 @@
 // Usage:
 //
 //	fovserver [-addr :8477] [-half-angle 30] [-radius 100] [-max-results 20]
-//	          [-quiet] [-load snapshot.fovs] [-save snapshot.fovs]
+//	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
+//	          [-debug-addr 127.0.0.1:8478]
 //
 // With -save, a SIGINT/SIGTERM drains connections and writes the index
 // to the given snapshot file; -load restores one at startup.
+//
+// Observability: the API itself serves GET /metrics (Prometheus text
+// format) and GET /healthz. -debug-addr additionally opens a second
+// listener carrying net/http/pprof under /debug/pprof/ plus a /metrics
+// alias — keep it bound to localhost, profiling endpoints are not meant
+// for the open internet. Request logs are structured (log/slog) with
+// per-request ids; -log-json switches them from key=value to JSON.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,16 +43,24 @@ func main() {
 	radius := flag.Float64("radius", 100, "radius of view R in meters")
 	maxResults := flag.Int("max-results", 20, "default top-N for queries")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	logJSON := flag.Bool("log-json", false, "emit JSON request logs instead of key=value")
 	load := flag.String("load", "", "snapshot file to restore state from at startup (see GET /snapshot)")
 	save := flag.String("save", "", "snapshot file to write on SIGINT/SIGTERM before exiting")
+	debugAddr := flag.String("debug-addr", "", "optional second listener with /debug/pprof/ and /metrics (e.g. 127.0.0.1:8478)")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	cfg := server.Config{
 		Camera:            fov.Camera{HalfAngleDeg: *halfAngle, RadiusMeters: *radius},
 		DefaultMaxResults: *maxResults,
 	}
 	if !*quiet {
-		cfg.Logger = log.New(os.Stderr, "fovserver ", log.LstdFlags)
+		cfg.Logger = logger
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -62,14 +79,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fovserver: restore:", err)
 			os.Exit(1)
 		}
-		log.Printf("restored %d segments from %s", srv.Index().Len(), *load)
+		logger.Info("snapshot restored", "segments", srv.Index().Len(), "file", *load)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fovserver:", err)
 		os.Exit(1)
 	}
-	log.Printf("fovserver listening on %s (alpha=%.0f° R=%.0fm)", l.Addr(), *halfAngle, *radius)
+	logger.Info("fovserver listening",
+		"addr", l.Addr().String(), "halfAngleDeg", *halfAngle, "radiusMeters", *radius)
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovserver: debug listener:", err)
+			os.Exit(1)
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", dl.Addr().String())
+			if err := http.Serve(dl, debugMux(srv)); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	httpSrv := srv.HTTPServer()
 	done := make(chan error, 1)
@@ -84,7 +116,7 @@ func main() {
 			os.Exit(1)
 		}
 	case sig := <-sigs:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		_ = httpSrv.Shutdown(ctx)
 		cancel()
@@ -102,7 +134,25 @@ func main() {
 				fmt.Fprintln(os.Stderr, "fovserver: save:", err)
 				os.Exit(1)
 			}
-			log.Printf("saved %d segments to %s", srv.Index().Len(), *save)
+			logger.Info("snapshot saved", "segments", srv.Index().Len(), "file", *save)
 		}
 	}
+}
+
+// debugMux serves the pprof profiling endpoints plus a metrics alias on
+// the side listener. Registering pprof by hand (instead of importing the
+// package for its DefaultServeMux side effect) keeps the profiling
+// surface off the public API listener.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = srv.Registry().WritePrometheus(w)
+	})
+	return mux
 }

@@ -20,10 +20,20 @@ import (
 	"time"
 
 	"fovr/internal/fov"
+	"fovr/internal/obs"
 	"fovr/internal/query"
 	"fovr/internal/segment"
 	"fovr/internal/server"
 	"fovr/internal/wire"
+)
+
+// Client-side metrics (process-wide, obs.Default): bytes crossing the
+// boundary from this side, and upload retry attempts — the mobile
+// networking cost the paper's Section VI-D traffic evaluation measures.
+var (
+	clientSentBytes     = obs.GetOrCreateCounter("fovr_client_sent_bytes_total")
+	clientReceivedBytes = obs.GetOrCreateCounter("fovr_client_received_bytes_total")
+	uploadRetries       = obs.GetOrCreateCounter("fovr_client_upload_retries_total")
 )
 
 // CaptureSession is one recording in progress.
@@ -63,6 +73,8 @@ func (c *CaptureSession) Push(s fov.Sample) error {
 
 // PushAll feeds a whole recorded trace.
 func (c *CaptureSession) PushAll(samples []fov.Sample) error {
+	sp := obs.StartSpan("capture.push")
+	defer sp.End()
 	for i, s := range samples {
 		if err := c.Push(s); err != nil {
 			return fmt.Errorf("client: sample %d: %w", i, err)
@@ -98,6 +110,15 @@ type Client struct {
 	HTTPClient *http.Client
 	// Traffic counts request/response bytes; optional.
 	Traffic *wire.TrafficMeter
+	// MaxRetries bounds automatic Upload retries after a transient
+	// failure (connection error or 502/503/504), with exponential
+	// backoff starting at RetryDelay. Zero disables retries. A retried
+	// upload can double-register descriptors if the first attempt's
+	// response was lost after the server committed — acceptable for
+	// descriptors (queries dedupe by distance), noted here for honesty.
+	MaxRetries int
+	// RetryDelay is the initial backoff; zero means 50 ms.
+	RetryDelay time.Duration
 }
 
 // New returns a client for the server at baseURL.
@@ -110,15 +131,32 @@ func New(baseURL string) *Client {
 }
 
 // Upload ships the payload in the compact binary format and returns the
-// server-assigned segment ids.
+// server-assigned segment ids, retrying transient failures up to
+// MaxRetries times.
 func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
 	body, err := wire.EncodeBinary(u)
 	if err != nil {
 		return nil, err
 	}
-	respBody, err := c.post("/upload", "application/octet-stream", body)
-	if err != nil {
-		return nil, err
+	sp := obs.StartSpan("upload.post")
+	defer sp.End()
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	var respBody []byte
+	for attempt := 0; ; attempt++ {
+		var retriable bool
+		respBody, retriable, err = c.postOnce("/upload", "application/octet-stream", body)
+		if err == nil {
+			break
+		}
+		if !retriable || attempt >= c.MaxRetries {
+			return nil, err
+		}
+		uploadRetries.Inc()
+		time.Sleep(delay)
+		delay *= 2
 	}
 	var resp server.UploadResponse
 	if err := json.Unmarshal(respBody, &resp); err != nil {
@@ -130,6 +168,8 @@ func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
 // Query runs a retrieval request and returns the ranked results along
 // with the server-reported search time.
 func (c *Client) Query(q query.Query, maxResults int) ([]query.Ranked, time.Duration, error) {
+	sp := obs.StartSpan("query.roundtrip")
+	defer sp.End()
 	body, err := json.Marshal(server.QueryRequest{Query: q, MaxResults: maxResults})
 	if err != nil {
 		return nil, 0, err
@@ -168,20 +208,31 @@ func (c *Client) Stats() (server.Stats, error) {
 }
 
 func (c *Client) post(path, contentType string, body []byte) ([]byte, error) {
+	respBody, _, err := c.postOnce(path, contentType, body)
+	return respBody, err
+}
+
+// postOnce performs one POST and classifies failures: retriable means a
+// connection-level error or a gateway status (502/503/504) where a retry
+// has a chance of succeeding.
+func (c *Client) postOnce(path, contentType string, body []byte) (respBody []byte, retriable bool, err error) {
 	resp, err := c.httpClient().Post(c.BaseURL+path, contentType, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(resp.Body)
+	respBody, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	c.addTraffic(len(body), len(respBody))
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: %s: %s: %s", path, resp.Status, bytes.TrimSpace(respBody))
+		retriable = resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
+		return nil, retriable, fmt.Errorf("client: %s: %s: %s", path, resp.Status, bytes.TrimSpace(respBody))
 	}
-	return respBody, nil
+	return respBody, false, nil
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -196,6 +247,8 @@ func (c *Client) addTraffic(sent, received int) {
 		c.Traffic.AddSent(sent)
 		c.Traffic.AddReceived(received)
 	}
+	clientSentBytes.Add(int64(sent))
+	clientReceivedBytes.Add(int64(received))
 }
 
 // Subscribe registers a standing query on the server; Matches polls for

@@ -1,0 +1,111 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/segment"
+	"fovr/internal/wire"
+)
+
+func retryUpload() wire.Upload {
+	return wire.Upload{
+		Provider: "alice",
+		Camera:   cam,
+		Reps: []segment.Representative{{
+			FoV:         fov.FoV{P: geo.Point{Lat: 40.0, Lng: 116.326}, Theta: 90},
+			StartMillis: 0,
+			EndMillis:   5000,
+		}},
+	}
+}
+
+// flakyFrontend proxies to the real backend but fails the first n
+// requests with the given status — the overloaded-gateway scenario the
+// retry policy exists for.
+func flakyFrontend(t *testing.T, backend *httptest.Server, n int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	target, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(target)
+	var attempts atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= int64(n) {
+			http.Error(w, "try again", status)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(front.Close)
+	return front, &attempts
+}
+
+func TestUploadRetriesTransientFailures(t *testing.T) {
+	srv, backend := newBackend(t)
+	front, attempts := flakyFrontend(t, backend, 2, http.StatusServiceUnavailable)
+
+	c := New(front.URL)
+	c.MaxRetries = 3
+	c.RetryDelay = time.Millisecond
+	before := uploadRetries.Value()
+
+	ids, err := c.Upload(retryUpload())
+	if err != nil {
+		t.Fatalf("upload after transient failures: %v", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("ids = %v, want one", ids)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if got := uploadRetries.Value() - before; got != 2 {
+		t.Fatalf("retry counter advanced by %d, want 2", got)
+	}
+	if srv.Index().Len() != 1 {
+		t.Fatalf("index has %d entries, want 1", srv.Index().Len())
+	}
+}
+
+func TestUploadGivesUpAfterMaxRetries(t *testing.T) {
+	_, backend := newBackend(t)
+	front, attempts := flakyFrontend(t, backend, 100, http.StatusServiceUnavailable)
+
+	c := New(front.URL)
+	c.MaxRetries = 2
+	c.RetryDelay = time.Millisecond
+	if _, err := c.Upload(retryUpload()); err == nil {
+		t.Fatal("upload succeeded against an always-failing frontend")
+	}
+	if got := attempts.Load(); got != 3 { // initial try + 2 retries
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestUploadDoesNotRetryPermanentErrors(t *testing.T) {
+	_, backend := newBackend(t)
+	front, attempts := flakyFrontend(t, backend, 100, http.StatusBadRequest)
+
+	c := New(front.URL)
+	c.MaxRetries = 5
+	c.RetryDelay = time.Millisecond
+	before := uploadRetries.Value()
+	if _, err := c.Upload(retryUpload()); err == nil {
+		t.Fatal("upload succeeded against a rejecting frontend")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (4xx must not be retried)", got)
+	}
+	if got := uploadRetries.Value() - before; got != 0 {
+		t.Fatalf("retry counter advanced by %d on a permanent error", got)
+	}
+}

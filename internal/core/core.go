@@ -22,6 +22,7 @@ import (
 
 	"fovr/internal/fov"
 	"fovr/internal/index"
+	"fovr/internal/obs"
 	"fovr/internal/query"
 	"fovr/internal/rtree"
 	"fovr/internal/segment"
@@ -118,6 +119,8 @@ func (s *System) Ingest(provider string, reps []segment.Representative) ([]uint6
 	if provider == "" {
 		return nil, errors.New("core: empty provider")
 	}
+	sp := obs.StartSpan("index.insert")
+	defer sp.End()
 	s.mu.Lock()
 	start := s.nextID
 	s.nextID += uint64(len(reps))
@@ -147,6 +150,8 @@ func (s *System) Search(q query.Query, n int) ([]query.Ranked, error) {
 	if n <= 0 {
 		n = s.cfg.DefaultMaxResults
 	}
+	sp := obs.StartSpan("query.search")
+	defer sp.End()
 	return query.Search(s.idx, q, query.Options{Camera: s.cfg.Camera, MaxResults: n})
 }
 

@@ -217,6 +217,16 @@ func (x *RTree) NodeCount() int {
 	return x.tree.NodeCount()
 }
 
+// TreeStats returns the underlying tree's lifetime operation counters
+// (node visits, leaf scans, inserts/deletes/reinserts/splits) — the
+// numbers the server exposes at /metrics. Counters reset when the tree
+// is replaced (snapshot restore).
+func (x *RTree) TreeStats() rtree.Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Stats()
+}
+
 // CheckInvariants validates the underlying tree structure (tests only).
 func (x *RTree) CheckInvariants() error {
 	x.mu.RLock()

@@ -1,0 +1,358 @@
+// Package obs is the repository's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms), Prometheus text-format exposition, and a lightweight
+// span/stage-timer API used to time the capture → segment → upload →
+// index → query pipeline.
+//
+// The paper's whole argument is quantitative — O(1) segmentation cost per
+// frame (Algorithm 1), descriptor-sized upload traffic (Section VI-D),
+// and sub-100 ms query latency over the 3-D R-tree (Section V) — so every
+// hot path in the system records into a Registry and the server exposes
+// the result at GET /metrics.
+//
+// Metric names follow the Prometheus convention and may carry a constant
+// label set inline:
+//
+//	reg.Counter(`fovr_http_requests_total{endpoint="/upload",code="200"}`).Inc()
+//	reg.Histogram("fovr_segment_frame_seconds").Observe(d.Seconds())
+//
+// Metrics are created on first use and live for the life of the registry.
+// Everything is safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry. Packages that instrument
+// themselves unconditionally (segment, client) record here; the server
+// exposes it at /metrics unless configured with its own registry.
+var Default = NewRegistry()
+
+// metric is anything the registry can expose.
+type metric interface {
+	// writeProm appends exposition lines for the metric. name is the full
+	// registered name (base plus inline labels).
+	writeProm(b *strings.Builder, name string)
+	// promType is the TYPE keyword for the metric's family.
+	promType() string
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+	created time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric), created: time.Now()}
+}
+
+// UptimeSeconds returns the seconds since the registry was created — the
+// process uptime when using Default.
+func (r *Registry) UptimeSeconds() float64 { return time.Since(r.created).Seconds() }
+
+// lookup returns the metric under name, creating it with make on miss.
+// It panics when the name is malformed or already registered with a
+// different metric kind — both are programming errors.
+func (r *Registry) lookup(name string, make func() metric) metric {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	if err := checkName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.metrics[name]; ok {
+		return m
+	}
+	m = make()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the monotonic counter with the given name, creating it
+// on first use.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.lookup(name, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+	return c
+}
+
+// Gauge returns the settable gauge with the given name, creating it on
+// first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.lookup(name, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is produced by f
+// at exposition time — the shape used for live readings like index size.
+// Replacement keeps re-created servers sharing a registry from
+// colliding: the newest owner of the name wins.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	if err := checkName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = gaugeFunc(f)
+}
+
+// CounterFunc registers (or replaces) a counter whose value is produced
+// by f at exposition time. The value should be monotonic over the life of
+// the producer; scrapers treat a decrease as a reset.
+func (r *Registry) CounterFunc(name string, f func() float64) {
+	if err := checkName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = counterFunc(f)
+}
+
+// Histogram returns the fixed-bucket histogram with the given name,
+// creating it with DefBuckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, nil)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds, which
+// must be sorted ascending. Nil selects DefBuckets. Buckets are fixed at
+// creation; a later call with different buckets returns the original.
+func (r *Registry) HistogramBuckets(name string, buckets []float64) *Histogram {
+	m := r.lookup(name, func() metric { return newHistogram(buckets) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %s", name, m.promType()))
+	}
+	return h
+}
+
+// Unregister removes the named metric, reporting whether it existed.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.metrics[name]
+	delete(r.metrics, name)
+	return ok
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decrement")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) promType() string { return "counter" }
+func (c *Counter) writeProm(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "%s %d\n", name, c.v.Load())
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; fine for low-rate gauges).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) promType() string { return "gauge" }
+func (g *Gauge) writeProm(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "%s %s\n", name, formatFloat(g.Value()))
+}
+
+type gaugeFunc func() float64
+
+func (f gaugeFunc) promType() string { return "gauge" }
+func (f gaugeFunc) writeProm(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "%s %s\n", name, formatFloat(f()))
+}
+
+type counterFunc func() float64
+
+func (f counterFunc) promType() string { return "counter" }
+func (f counterFunc) writeProm(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "%s %s\n", name, formatFloat(f()))
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest exact
+// representation, integers without a trailing ".0".
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// splitName separates a full metric name into its base name and the
+// inline label block (excluding braces); labels is "" when absent.
+func splitName(full string) (base, labels string) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, ""
+	}
+	return full[:i], strings.TrimSuffix(full[i+1:], "}")
+}
+
+// checkName validates a metric name: a Prometheus-legal base identifier,
+// optionally followed by {k="v",...} with balanced braces and quoted
+// values.
+func checkName(full string) error {
+	base, labels := splitName(full)
+	if base == "" {
+		return fmt.Errorf("obs: empty metric name %q", full)
+	}
+	for i, c := range base {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return fmt.Errorf("obs: invalid metric name %q", full)
+		}
+	}
+	if strings.ContainsRune(base, '{') || strings.Count(full, "{") > 1 {
+		return fmt.Errorf("obs: invalid metric name %q", full)
+	}
+	if i := strings.IndexByte(full, '{'); i >= 0 && !strings.HasSuffix(full, "}") {
+		return fmt.Errorf("obs: unterminated label block in %q", full)
+	}
+	if labels != "" {
+		for _, pair := range splitLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return fmt.Errorf("obs: invalid label %q in %q", pair, full)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label block on commas that sit outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name with a
+// single # TYPE line each.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, r.Prometheus())
+	return err
+}
+
+func (r *Registry) writeTo(b *strings.Builder) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	metrics := make(map[string]metric, len(r.metrics))
+	for name, m := range r.metrics {
+		metrics[name] = m
+	}
+	r.mu.RUnlock()
+
+	// Sort by (family, full name) so label variants of one family group
+	// together under a single TYPE header.
+	sort.Slice(names, func(i, j int) bool {
+		bi, _ := splitName(names[i])
+		bj, _ := splitName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
+	lastFamily := ""
+	for _, name := range names {
+		m := metrics[name]
+		family, _ := splitName(name)
+		if family != lastFamily {
+			fmt.Fprintf(b, "# TYPE %s %s\n", family, m.promType())
+			lastFamily = family
+		}
+		m.writeProm(b, name)
+	}
+}
+
+// Prometheus returns the full exposition as a string.
+func (r *Registry) Prometheus() string {
+	var b strings.Builder
+	r.writeTo(&b)
+	return b.String()
+}
+
+// Package-level conveniences on the Default registry.
+
+// GetOrCreateCounter returns Default.Counter(name).
+func GetOrCreateCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetOrCreateGauge returns Default.Gauge(name).
+func GetOrCreateGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetOrCreateHistogram returns Default.Histogram(name).
+func GetOrCreateHistogram(name string) *Histogram { return Default.Histogram(name) }

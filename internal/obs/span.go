@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Span times one stage of the pipeline. Obtain one with StartSpan at the
+// top of the stage and End it when the stage finishes; the duration is
+// recorded into the registry's per-stage histogram family
+//
+//	fovr_stage_seconds{stage="<name>"}
+//
+// Stage names are dotted paths over the pipeline:
+// "capture.push", "segment.split", "upload.post", "index.insert",
+// "query.search", ... A Span is a value; passing it around is cheap and
+// an unused span costs one histogram lookup.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing a stage against the Default registry.
+func StartSpan(stage string) Span { return Default.StartSpan(stage) }
+
+// StartSpan begins timing a stage against this registry.
+func (r *Registry) StartSpan(stage string) Span {
+	return Span{
+		h:     r.Histogram(fmt.Sprintf("fovr_stage_seconds{stage=%q}", stage)),
+		start: time.Now(),
+	}
+}
+
+// End stops the span, records its duration, and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}

@@ -16,6 +16,7 @@ import (
 	"fovr/internal/core"
 	"fovr/internal/fov"
 	"fovr/internal/geo"
+	"fovr/internal/obs"
 	"fovr/internal/query"
 	"fovr/internal/segment"
 	"fovr/internal/trace"
@@ -83,7 +84,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics is what the run measured.
+// Metrics is what the run measured: volume counters, per-stage wall
+// time for the capture → segment → upload-encode → index pipeline, and
+// the query latency percentiles that map to the paper's Section VI
+// response-time evaluation.
 type Metrics struct {
 	Providers    int
 	Frames       int
@@ -91,6 +95,10 @@ type Metrics struct {
 	UploadBytes  int64
 	RawVideoMB   float64 // what a data-centric system would have moved
 	IngestTime   time.Duration
+	CaptureTime  time.Duration // generating + noising sensor traces
+	SegmentTime  time.Duration // Algorithm 1 over every trace
+	EncodeTime   time.Duration // wire-format descriptor encoding
+	IndexTime    time.Duration // R-tree insertion
 	Queries      int
 	ResultsTotal int
 	QueryP50     time.Duration
@@ -115,10 +123,13 @@ func Run(cfg Config) (Metrics, *core.System, error) {
 	var m Metrics
 	m.Providers = cfg.Providers
 
-	// Ingest phase: every provider walks, segments, uploads.
+	// Ingest phase: every provider walks, segments, uploads. Each stage
+	// is timed separately (and recorded as an obs span) so the report can
+	// say where ingest wall time actually goes.
 	samplePoints := make([]fov.Sample, 0, cfg.Providers) // one per provider, for query placement
 	ingestStart := time.Now()
 	for p := 0; p < cfg.Providers; p++ {
+		captureSpan := obs.StartSpan("replay.capture")
 		origin := geo.Offset(trace.ScenarioOrigin, rng.Float64()*360, rng.Float64()*cfg.ExtentMeters)
 		start := int64(rng.Float64() * float64(cfg.HorizonMillis))
 		clean, err := trace.RandomWalk(trace.Config{SampleHz: cfg.SampleHz, StartMillis: start},
@@ -127,24 +138,31 @@ func Run(cfg Config) (Metrics, *core.System, error) {
 			return Metrics{}, nil, err
 		}
 		noisy := cfg.Noise.Apply(rng, clean)
+		m.CaptureTime += captureSpan.End()
 		m.Frames += len(noisy)
 		samplePoints = append(samplePoints, noisy[rng.Intn(len(noisy))])
 
 		// The client path: stream through the real-time segmenter.
+		segmentStart := time.Now()
 		results, err := segment.Split(sys.SegmentConfig(), noisy)
 		if err != nil {
 			return Metrics{}, nil, err
 		}
+		m.SegmentTime += time.Since(segmentStart)
 		reps := segment.Representatives(results)
+		encodeSpan := obs.StartSpan("replay.encode")
 		data, err := wire.EncodeBinary(wire.Upload{Provider: fmt.Sprintf("p%04d", p), Reps: reps})
 		if err != nil {
 			return Metrics{}, nil, err
 		}
+		m.EncodeTime += encodeSpan.End()
 		m.UploadBytes += int64(len(data))
+		indexStart := time.Now()
 		ids, err := sys.Ingest(fmt.Sprintf("p%04d", p), reps)
 		if err != nil {
 			return Metrics{}, nil, err
 		}
+		m.IndexTime += time.Since(indexStart)
 		m.Segments += len(ids)
 	}
 	m.IngestTime = time.Since(ingestStart)

@@ -59,6 +59,20 @@ func TestRunProducesCoherentMetrics(t *testing.T) {
 	if m.ResultsTotal == 0 {
 		t.Fatal("no query returned anything")
 	}
+	// Stage timings must be populated and bounded by total ingest time.
+	for name, d := range map[string]time.Duration{
+		"capture": m.CaptureTime,
+		"segment": m.SegmentTime,
+		"encode":  m.EncodeTime,
+		"index":   m.IndexTime,
+	} {
+		if d <= 0 {
+			t.Errorf("%s stage time = %v, want > 0", name, d)
+		}
+	}
+	if sum := m.CaptureTime + m.SegmentTime + m.EncodeTime + m.IndexTime; sum > m.IngestTime {
+		t.Errorf("stage times sum to %v, more than total ingest %v", sum, m.IngestTime)
+	}
 }
 
 func TestRunDeterministicIngest(t *testing.T) {

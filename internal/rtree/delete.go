@@ -14,6 +14,7 @@ func (t *Tree[T]) Delete(r Rect, match func(T) bool) bool {
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--
+	t.stats.deletes.Add(1)
 	t.condense(path)
 	// Shrink the root while it is an internal node with one child.
 	for !t.root.leaf && len(t.root.entries) == 1 {
@@ -92,6 +93,7 @@ func (t *Tree[T]) condense(path []*node[T]) {
 	// fine — levels are recomputed against the current height by
 	// insertAtLevel's caller contract (level counted from the leaves).
 	for _, o := range orphans {
+		t.stats.reinserts.Add(int64(len(o.entries)))
 		for _, e := range o.entries {
 			t.insertAtLevel(e, o.level)
 		}

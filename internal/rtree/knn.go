@@ -54,6 +54,7 @@ func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) [
 	q := make(knnQueue[T], 0, t.opts.MaxEntries*2)
 	heap.Push(&q, knnItem[T]{dist2: 0, node: t.root})
 	out := make([]Neighbor[T], 0, k)
+	var c searchCounters
 	for q.Len() > 0 && len(out) < k {
 		it := heap.Pop(&q).(knnItem[T])
 		if it.node == nil {
@@ -61,6 +62,10 @@ func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) [
 				out = append(out, Neighbor[T]{Rect: it.rect, Data: it.data, Dist2: it.dist2})
 			}
 			continue
+		}
+		c.nodes++
+		if it.node.leaf {
+			c.leafs += int64(len(it.node.entries))
 		}
 		for _, e := range it.node.entries {
 			child := knnItem[T]{dist2: e.rect.MinDist(p), rect: e.rect}
@@ -72,6 +77,7 @@ func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) [
 			heap.Push(&q, child)
 		}
 	}
+	t.recordSearch(c)
 	return out
 }
 
@@ -108,6 +114,7 @@ func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDi
 	q := make(knnQueue[T], 0, t.opts.MaxEntries*2)
 	heap.Push(&q, knnItem[T]{dist2: 0, node: t.root})
 	out := make([]Neighbor[T], 0, k)
+	var c searchCounters
 	for q.Len() > 0 && len(out) < k {
 		it := heap.Pop(&q).(knnItem[T])
 		if maxDist2 > 0 && it.dist2 > maxDist2 {
@@ -119,6 +126,10 @@ func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDi
 			}
 			continue
 		}
+		c.nodes++
+		if it.node.leaf {
+			c.leafs += int64(len(it.node.entries))
+		}
 		for _, e := range it.node.entries {
 			child := knnItem[T]{dist2: dist(e.rect), rect: e.rect}
 			if it.node.leaf {
@@ -129,5 +140,6 @@ func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDi
 			heap.Push(&q, child)
 		}
 	}
+	t.recordSearch(c)
 	return out
 }

@@ -102,6 +102,7 @@ type Tree[T any] struct {
 	height int // number of levels; 1 = root is a leaf
 	size   int
 	packed bool // built by BulkLoad: tail nodes may be under-filled
+	stats  stats
 }
 
 // New returns an empty tree, or an error for invalid options.
@@ -143,6 +144,7 @@ func (t *Tree[T]) Insert(r Rect, data T) error {
 	}
 	t.insertAtLevel(entry[T]{rect: r, data: data}, 1)
 	t.size++
+	t.stats.inserts.Add(1)
 	return nil
 }
 
@@ -246,6 +248,7 @@ func (t *Tree[T]) tightenParent(path []*node[T], i int) {
 // using the configured heuristic. The receiver node is reused as the left
 // half.
 func (t *Tree[T]) splitNode(n *node[T]) (left, right *node[T]) {
+	t.stats.splits.Add(1)
 	entries := n.entries
 	if t.opts.Split == RStarSplit {
 		l, r := rstarSplit(entries, t.opts.MinEntries)
@@ -404,10 +407,16 @@ func abs(x float64) float64 {
 // Search calls fn for every stored item whose rectangle intersects q.
 // Return false from fn to stop early. The traversal order is unspecified.
 func (t *Tree[T]) Search(q Rect, fn func(Rect, T) bool) {
-	t.search(t.root, q, fn)
+	var c searchCounters
+	t.search(t.root, q, fn, &c)
+	t.recordSearch(c)
 }
 
-func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool) bool {
+func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool, c *searchCounters) bool {
+	c.nodes++
+	if n.leaf {
+		c.leafs += int64(len(n.entries))
+	}
 	for _, e := range n.entries {
 		if !e.rect.Intersects(q) {
 			continue
@@ -416,7 +425,7 @@ func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool) bool {
 			if !fn(e.rect, e.data) {
 				return false
 			}
-		} else if !t.search(e.child, q, fn) {
+		} else if !t.search(e.child, q, fn, c) {
 			return false
 		}
 	}

@@ -1,0 +1,68 @@
+package rtree
+
+import "testing"
+
+func TestStatsCounters(t *testing.T) {
+	tr := MustNew[int](Options{MaxEntries: 4})
+	n := 100
+	for i := 0; i < n; i++ {
+		r := Rect{
+			Min: [Dims]float64{float64(i), float64(i), 0},
+			Max: [Dims]float64{float64(i) + 1, float64(i) + 1, 1},
+		}
+		if err := tr.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.Inserts != int64(n) {
+		t.Fatalf("Inserts = %d, want %d", st.Inserts, n)
+	}
+	if st.Splits == 0 {
+		t.Fatal("expected splits after 100 inserts into M=4 nodes")
+	}
+	if st.Searches != 0 || st.NodeVisits != 0 {
+		t.Fatalf("search counters non-zero before any search: %+v", st)
+	}
+
+	// A range search visits at least the root and scans some leaves.
+	tr.SearchAll(Rect{
+		Min: [Dims]float64{0, 0, 0},
+		Max: [Dims]float64{10, 10, 1},
+	})
+	st = tr.Stats()
+	if st.Searches != 1 {
+		t.Fatalf("Searches = %d, want 1", st.Searches)
+	}
+	if st.NodeVisits == 0 || st.LeafEntriesScanned == 0 {
+		t.Fatalf("search recorded no work: %+v", st)
+	}
+
+	// kNN records as a search too.
+	tr.Nearest([Dims]float64{50, 50, 0}, 3)
+	if got := tr.Stats().Searches; got != 2 {
+		t.Fatalf("Searches after kNN = %d, want 2", got)
+	}
+
+	// Deletes and reinserts.
+	before := tr.Stats()
+	for i := 0; i < n; i++ {
+		r := Rect{
+			Min: [Dims]float64{float64(i), float64(i), 0},
+			Max: [Dims]float64{float64(i) + 1, float64(i) + 1, 1},
+		}
+		if !tr.Delete(r, func(v int) bool { return v == i }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	st = tr.Stats()
+	if st.Deletes-before.Deletes != int64(n) {
+		t.Fatalf("Deletes = %d, want %d", st.Deletes-before.Deletes, n)
+	}
+	if st.Reinserts == 0 {
+		t.Fatal("expected condense reinserts while draining the tree")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

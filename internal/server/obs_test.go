@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/obs"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/trace"
+	"fovr/internal/wire"
+)
+
+// promValue extracts the value of the exactly-named sample from a
+// Prometheus exposition, or fails the test.
+func promValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("sample %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found in exposition:\n%s", name, exposition)
+	return 0
+}
+
+// TestMetricsEndpoint drives the full pipeline in-process and asserts
+// the acceptance surface of GET /metrics: per-endpoint request counters
+// and latency histograms, the index entry gauge, R-tree node-visit
+// counters, the segmentation ns/frame histogram, and byte counters —
+// all in valid Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	// The default registry so the process-wide segmentation and client
+	// metrics appear alongside the server's own.
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Run a real segmentation so fovr_segment_frame_seconds has data.
+	samples, err := trace.Rotation(trace.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := segment.Split(segment.Config{
+		Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}, Threshold: 0.5,
+	}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no segments")
+	}
+
+	// Upload over HTTP, query over HTTP.
+	body, err := wire.EncodeBinary(wire.Upload{
+		Provider: "alice",
+		Reps:     []segment.Representative{rep(geo.Offset(center, 180, 30), 0, 0, 5000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %s", resp.Status)
+	}
+	qBody, _ := json.Marshal(QueryRequest{Query: query.Query{EndMillis: 5000, Center: center, RadiusMeters: 10}})
+	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(expo)
+
+	if v := promValue(t, out, `fovr_http_requests_total{endpoint="/upload",code="200"}`); v < 1 {
+		t.Errorf("upload request counter = %v, want >= 1", v)
+	}
+	if v := promValue(t, out, `fovr_http_request_seconds_count{endpoint="/query"}`); v < 1 {
+		t.Errorf("query latency histogram count = %v, want >= 1", v)
+	}
+	if v := promValue(t, out, "fovr_index_entries"); v != 1 {
+		t.Errorf("index entries gauge = %v, want 1", v)
+	}
+	if v := promValue(t, out, "fovr_rtree_node_visits_total"); v < 1 {
+		t.Errorf("node visits = %v, want >= 1", v)
+	}
+	if v := promValue(t, out, "fovr_segment_frame_seconds_count"); v < 1 {
+		t.Errorf("segmentation histogram count = %v, want >= 1", v)
+	}
+	if v := promValue(t, out, "fovr_net_received_bytes_total"); v < float64(len(body)) {
+		t.Errorf("received bytes = %v, want >= %d", v, len(body))
+	}
+	promValue(t, out, "fovr_net_sent_bytes_total")
+	promValue(t, out, "fovr_upload_rollbacks_total")
+
+	// Every line must be well-formed text format.
+	lineRE := regexp.MustCompile(
+		`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|` +
+			`[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN))$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "text/plain; charset=utf-8" {
+		t.Fatalf("healthz content-type = %q", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"ok\n", "uptime_seconds ", "segments 0", "go_version "} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("healthz body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestRollbackDoesNotNotifySubscribers is the regression test for the
+// mid-upload failure leak: a standing query must never see entries from
+// an upload that was rolled back.
+func TestRollbackDoesNotNotifySubscribers(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A standing query right at the center.
+	subBody, _ := json.Marshal(QueryRequest{Query: query.Query{
+		EndMillis: 10_000, Center: center, RadiusMeters: 10,
+	}})
+	resp, err := http.Post(ts.URL+"/subscribe", "application/json", bytes.NewReader(subBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubscribeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// An upload whose first rep matches the subscription and whose second
+	// rep is invalid: the whole upload must roll back, and the
+	// subscriber must not have been notified of the first rep.
+	matching := rep(geo.Offset(center, 180, 30), 0, 0, 5000)
+	invalid := segment.Representative{
+		FoV:         fov.FoV{P: center, Theta: 0},
+		StartMillis: 5000, EndMillis: 1000, // inverted interval
+	}
+	if _, err := s.Register(wire.Upload{
+		Provider: "mallory",
+		Reps:     []segment.Representative{matching, invalid},
+	}); err == nil {
+		t.Fatal("invalid upload accepted")
+	}
+	if got := s.Index().Len(); got != 0 {
+		t.Fatalf("rollback left %d entries", got)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/matches?id=%d", ts.URL, sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matches MatchesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&matches); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(matches.Results) != 0 {
+		t.Fatalf("subscriber saw %d rolled-back entries: %+v", len(matches.Results), matches.Results)
+	}
+
+	// The same upload minus the bad rep commits and does notify.
+	if _, err := s.Register(wire.Upload{
+		Provider: "alice",
+		Reps:     []segment.Representative{matching},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/matches?id=%d", ts.URL, sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&matches); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(matches.Results) != 1 {
+		t.Fatalf("committed upload produced %d matches, want 1", len(matches.Results))
+	}
+}
+
+// TestConcurrentTrafficMetricsConsistent hammers upload/query/stats
+// concurrently (run with -race) and asserts the registry's request
+// counters agree with the number of requests actually issued.
+func TestConcurrentTrafficMetricsConsistent(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Camera:   fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	const perWorker = 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body, err := wire.EncodeBinary(wire.Upload{
+					Provider: fmt.Sprintf("p%02d", w),
+					Reps: []segment.Representative{
+						rep(geo.Offset(center, float64(w*37%360), 30), 0, int64(i*1000), int64(i*1000+500)),
+					},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+
+				qBody, _ := json.Marshal(QueryRequest{Query: query.Query{
+					EndMillis: 100_000, Center: center, RadiusMeters: 10,
+				}})
+				resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+
+				resp, err = http.Get(ts.URL + "/stats")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := workers * perWorker
+	out := reg.Prometheus()
+	if v := promValue(t, out, `fovr_http_requests_total{endpoint="/upload",code="200"}`); v != float64(total) {
+		t.Errorf("upload counter = %v, want %d", v, total)
+	}
+	if v := promValue(t, out, `fovr_http_requests_total{endpoint="/query",code="200"}`); v != float64(total) {
+		t.Errorf("query counter = %v, want %d", v, total)
+	}
+	if v := promValue(t, out, `fovr_http_requests_total{endpoint="/stats",code="200"}`); v != float64(total) {
+		t.Errorf("stats counter = %v, want %d", v, total)
+	}
+	if v := promValue(t, out, `fovr_http_request_seconds_count{endpoint="/upload"}`); v != float64(total) {
+		t.Errorf("upload histogram count = %v, want %d", v, total)
+	}
+	if v := promValue(t, out, "fovr_index_entries"); v != float64(total) {
+		t.Errorf("index entries = %v, want %d", v, total)
+	}
+	if got := s.requests.Load(); got != int64(3*total) {
+		t.Errorf("Stats.Requests = %d, want %d", got, 3*total)
+	}
+
+	// /stats agrees with the registry's one source of truth.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Segments != total {
+		t.Errorf("stats segments = %d, want %d", st.Segments, total)
+	}
+	if st.BytesIn <= 0 || st.BytesOut <= 0 {
+		t.Errorf("stats bytes in/out = %d/%d, want > 0", st.BytesIn, st.BytesOut)
+	}
+	if float64(st.BytesIn) != promValue(t, reg.Prometheus(), "fovr_net_received_bytes_total") {
+		t.Error("stats bytesIn diverges from registry counter")
+	}
+}

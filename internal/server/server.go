@@ -13,24 +13,33 @@
 //	POST /query   — body: JSON query.Query (+ optional maxResults).
 //	                Responds with the ranked result list.
 //	GET  /stats   — index size, per-provider counts, traffic totals.
-//	GET  /healthz — liveness.
+//	GET  /metrics — Prometheus text-format exposition of the registry.
+//	GET  /healthz — liveness: uptime and build info, text/plain.
+//
+// Every request is counted and timed per endpoint and status code in the
+// observability registry (package obs), and logged through a structured
+// slog logger with a per-request id.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fovr/internal/fov"
 	"fovr/internal/index"
+	"fovr/internal/obs"
 	"fovr/internal/query"
 	"fovr/internal/rtree"
 	"fovr/internal/snapshot"
@@ -48,8 +57,15 @@ type Config struct {
 	MaxUploadBytes int64
 	// IndexOptions tunes the underlying R-tree.
 	IndexOptions rtree.Options
-	// Logger receives request-level diagnostics; nil silences them.
-	Logger *log.Logger
+	// Logger receives structured request-level diagnostics; nil silences
+	// them.
+	Logger *slog.Logger
+	// Registry receives the server's metrics (request counts/latency,
+	// index gauges, R-tree counters, byte totals). Nil selects
+	// obs.Default, which is what a single-server process wants: the
+	// /metrics endpoint then also exposes client- and segmenter-side
+	// metrics recorded elsewhere in the process.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes == 0 {
 		c.MaxUploadBytes = 8 << 20
 	}
+	if c.Registry == nil {
+		c.Registry = obs.Default
+	}
 	return c
 }
 
@@ -69,9 +88,15 @@ func (c Config) withDefaults() Config {
 // via Handler, or use ListenAndServe/Serve.
 type Server struct {
 	cfg     Config
+	reg     *obs.Registry
+	log     *slog.Logger
 	idx     *index.RTree
 	subs    *subscriptions
 	traffic wire.TrafficMeter
+
+	reqSeq    atomic.Uint64 // per-request ids for log correlation
+	requests  atomic.Int64  // total HTTP requests served (Stats)
+	rollbacks *obs.Counter  // uploads rolled back mid-insert
 
 	mu         sync.Mutex
 	nextID     uint64
@@ -89,48 +114,116 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(nopHandler{})
+	}
+	s := &Server{
 		cfg:        cfg,
+		reg:        cfg.Registry,
+		log:        logger,
 		idx:        idx,
 		subs:       newSubscriptions(),
 		nextID:     1,
 		byProvider: make(map[string]int),
 		started:    time.Now(),
-	}, nil
+	}
+	s.rollbacks = s.reg.Counter("fovr_upload_rollbacks_total")
+	s.registerMetrics()
+	return s, nil
+}
+
+// registerMetrics installs the live gauges and pass-through counters that
+// read server state at scrape time. Func registration replaces any prior
+// owner of the name, so re-creating a server against a shared registry
+// (tests, obs.Default) re-points the readings at the newest instance.
+func (s *Server) registerMetrics() {
+	s.reg.GaugeFunc("fovr_index_entries", func() float64 { return float64(s.index().Len()) })
+	s.reg.GaugeFunc("fovr_index_height", func() float64 { return float64(s.index().Height()) })
+	s.reg.GaugeFunc("fovr_index_nodes", func() float64 { return float64(s.index().NodeCount()) })
+	s.reg.GaugeFunc("fovr_subscriptions", func() float64 { return float64(s.subs.count()) })
+	s.reg.GaugeFunc("fovr_uptime_seconds", s.reg.UptimeSeconds)
+	s.reg.CounterFunc("fovr_net_received_bytes_total", func() float64 { return float64(s.traffic.Received()) })
+	s.reg.CounterFunc("fovr_net_sent_bytes_total", func() float64 { return float64(s.traffic.Sent()) })
+	treeStat := func(pick func(rtree.Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(s.index().TreeStats())) }
+	}
+	s.reg.CounterFunc("fovr_rtree_searches_total", treeStat(func(st rtree.Stats) int64 { return st.Searches }))
+	s.reg.CounterFunc("fovr_rtree_node_visits_total", treeStat(func(st rtree.Stats) int64 { return st.NodeVisits }))
+	s.reg.CounterFunc("fovr_rtree_leaf_entries_scanned_total", treeStat(func(st rtree.Stats) int64 { return st.LeafEntriesScanned }))
+	s.reg.CounterFunc("fovr_rtree_inserts_total", treeStat(func(st rtree.Stats) int64 { return st.Inserts }))
+	s.reg.CounterFunc("fovr_rtree_deletes_total", treeStat(func(st rtree.Stats) int64 { return st.Deletes }))
+	s.reg.CounterFunc("fovr_rtree_reinserts_total", treeStat(func(st rtree.Stats) int64 { return st.Reinserts }))
+	s.reg.CounterFunc("fovr_rtree_splits_total", treeStat(func(st rtree.Stats) int64 { return st.Splits }))
+}
+
+// nopHandler silences slog when no logger is configured.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// index returns the current index under the state lock — LoadSnapshot may
+// replace it, and metric callbacks read from scrape goroutines.
+func (s *Server) index() *index.RTree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx
 }
 
 // Index exposes the underlying index (benchmarks and tests).
-func (s *Server) Index() *index.RTree { return s.idx }
+func (s *Server) Index() *index.RTree { return s.index() }
 
-// Traffic exposes the server-side byte counters.
+// Traffic exposes the server-side byte counters. The same totals are
+// exported through the registry as fovr_net_{received,sent}_bytes_total.
 func (s *Server) Traffic() *wire.TrafficMeter { return &s.traffic }
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Register adds an upload directly (the in-process fast path used by
 // simulations that skip HTTP). It returns the assigned segment ids.
+//
+// An upload is all-or-nothing: if any representative fails to index, the
+// already-inserted prefix is rolled back and no subscriber is notified —
+// standing queries only ever see entries from committed uploads.
 func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 	if u.Provider == "" {
 		return nil, errors.New("server: empty provider")
 	}
+	sp := s.reg.StartSpan("index.insert")
+	defer sp.End()
 	ids := make([]uint64, 0, len(u.Reps))
+	entries := make([]index.Entry, 0, len(u.Reps))
 	s.mu.Lock()
 	start := s.nextID
 	s.nextID += uint64(len(u.Reps))
 	s.byProvider[u.Provider] += len(u.Reps)
+	idx := s.idx
 	s.mu.Unlock()
 	for i, rep := range u.Reps {
 		e := index.Entry{ID: start + uint64(i), Provider: u.Provider, Rep: rep, Camera: u.Camera}
-		if err := s.idx.Insert(e); err != nil {
+		if err := idx.Insert(e); err != nil {
 			// Roll back the already-inserted prefix so an upload is
 			// all-or-nothing.
 			for _, id := range ids {
-				s.idx.Remove(id)
+				idx.Remove(id)
 			}
 			s.mu.Lock()
 			s.byProvider[u.Provider] -= len(u.Reps)
 			s.mu.Unlock()
+			s.rollbacks.Inc()
 			return nil, fmt.Errorf("server: rep %d: %w", i, err)
 		}
 		ids = append(ids, e.ID)
+		entries = append(entries, e)
+	}
+	// Notify standing queries only once the whole upload has committed;
+	// offering entry-by-entry would leak rolled-back entries to
+	// subscribers when a later representative fails.
+	for _, e := range entries {
 		s.subs.offer(s.cfg.Camera, e)
 	}
 	return ids, nil
@@ -141,7 +234,9 @@ func (s *Server) Query(q query.Query, maxResults int) ([]query.Ranked, error) {
 	if maxResults <= 0 {
 		maxResults = s.cfg.DefaultMaxResults
 	}
-	return query.Search(s.idx, q, query.Options{
+	sp := s.reg.StartSpan("query.search")
+	defer sp.End()
+	return query.Search(s.index(), q, query.Options{
 		Camera:     s.cfg.Camera,
 		MaxResults: maxResults,
 	})
@@ -171,25 +266,108 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 
 // WriteSnapshot streams the server's current state in snapshot format.
 func (s *Server) WriteSnapshot(w io.Writer) error {
-	return snapshot.Write(w, s.idx.Entries())
+	return snapshot.Write(w, s.index().Entries())
 }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/upload", s.handleUpload)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/subscribe", s.handleSubscribe)
-	mux.HandleFunc("/matches", s.handleMatches)
-	mux.HandleFunc("/unsubscribe", s.handleUnsubscribe)
-	mux.HandleFunc("/forget", s.handleForget)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("/upload", s.instrument("/upload", s.handleUpload))
+	mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("/subscribe", s.instrument("/subscribe", s.handleSubscribe))
+	mux.HandleFunc("/matches", s.instrument("/matches", s.handleMatches))
+	mux.HandleFunc("/unsubscribe", s.instrument("/unsubscribe", s.handleUnsubscribe))
+	mux.HandleFunc("/forget", s.instrument("/forget", s.handleForget))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	return mux
+}
+
+type ctxKey int
+
+const requestLoggerKey ctxKey = 0
+
+// statusWriter captures the response status and size for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with per-endpoint request counting, latency
+// timing, and structured request logging under a fresh request id.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram(fmt.Sprintf("fovr_http_request_seconds{endpoint=%q}", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		reqLog := s.log.With("reqID", id, "endpoint", endpoint)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), requestLoggerKey, reqLog)))
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.requests.Add(1)
+		s.reg.Counter(fmt.Sprintf("fovr_http_requests_total{endpoint=%q,code=\"%d\"}", endpoint, sw.code)).Inc()
+		hist.Observe(elapsed.Seconds())
+		reqLog.Info("request",
+			"method", r.Method,
+			"status", sw.code,
+			"bytesOut", sw.bytes,
+			"elapsedMicros", elapsed.Microseconds(),
+		)
+	}
+}
+
+// reqLog returns the request-scoped logger installed by instrument, or
+// the server logger for direct handler invocations (tests).
+func (s *Server) reqLog(r *http.Request) *slog.Logger {
+	if l, ok := r.Context().Value(requestLoggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return s.log
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok\nuptime_seconds %.3f\nsegments %d\n", s.reg.UptimeSeconds(), s.index().Len())
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		fmt.Fprintf(w, "go_version %s\n", bi.GoVersion)
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				fmt.Fprintf(w, "build_revision %s\n", kv.Value)
+			}
+		}
+	}
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +426,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.logf("upload provider=%s reps=%d bytes=%d", u.Provider, len(u.Reps), len(body))
+	s.reqLog(r).Info("upload", "provider", u.Provider, "reps", len(u.Reps), "bytesIn", len(body))
 	s.respondJSON(w, UploadResponse{IDs: ids})
 }
 
@@ -291,21 +469,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if results == nil {
 		results = []query.Ranked{}
 	}
-	s.logf("query center=%v r=%.0fm window=[%d,%d] hits=%d",
-		req.Center, req.RadiusMeters, req.StartMillis, req.EndMillis, len(results))
+	s.reqLog(r).Info("query",
+		"center", fmt.Sprint(req.Center),
+		"radiusMeters", req.RadiusMeters,
+		"startMillis", req.StartMillis,
+		"endMillis", req.EndMillis,
+		"hits", len(results),
+	)
 	s.respondJSON(w, QueryResponse{
 		Results:       results,
 		ElapsedMicros: time.Since(begin).Microseconds(),
 	})
 }
 
-// Stats reports service state.
+// Stats reports service state. Every number is also exported in
+// Prometheus form at /metrics; this JSON endpoint is the human- and
+// script-friendly summary of the same registry-backed sources.
 type Stats struct {
 	Segments      int            `json:"segments"`
 	Providers     map[string]int `json:"providers"`
 	IndexHeight   int            `json:"indexHeight"`
 	BytesIn       int64          `json:"bytesIn"`
 	BytesOut      int64          `json:"bytesOut"`
+	Requests      int64          `json:"requests"`
 	UptimeSeconds float64        `json:"uptimeSeconds"`
 }
 
@@ -320,12 +506,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		providers[k] = v
 	}
 	s.mu.Unlock()
+	idx := s.index()
 	s.respondJSON(w, Stats{
-		Segments:      s.idx.Len(),
+		Segments:      idx.Len(),
 		Providers:     providers,
-		IndexHeight:   s.idx.Height(),
+		IndexHeight:   idx.Height(),
 		BytesIn:       s.traffic.Received(),
 		BytesOut:      s.traffic.Sent(),
+		Requests:      s.requests.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }
@@ -339,12 +527,6 @@ func (s *Server) respondJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	s.traffic.AddSent(len(data))
 	_, _ = w.Write(data)
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-	}
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -380,15 +562,16 @@ func (s *Server) ListenAndServe(addr string) error {
 // opt-out the paper's privacy motivation implies a deployment must offer.
 // It returns the number of segments removed.
 func (s *Server) ForgetProvider(provider string) int {
+	idx := s.index()
 	var ids []uint64
-	for _, e := range s.idx.Entries() {
+	for _, e := range idx.Entries() {
 		if e.Provider == provider {
 			ids = append(ids, e.ID)
 		}
 	}
 	removed := 0
 	for _, id := range ids {
-		if s.idx.Remove(id) {
+		if idx.Remove(id) {
 			removed++
 		}
 	}
@@ -409,6 +592,6 @@ func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	removed := s.ForgetProvider(provider)
-	s.logf("forget provider=%s removed=%d", provider, removed)
+	s.reqLog(r).Info("forget", "provider", provider, "removed", removed)
 	s.respondJSON(w, map[string]int{"removed": removed})
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -73,6 +74,12 @@ func (ss *subscriptions) get(id uint64) *subscription {
 	return ss.subs[id]
 }
 
+func (ss *subscriptions) count() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return len(ss.subs)
+}
+
 // offer tests a freshly uploaded entry against every standing query.
 func (ss *subscriptions) offer(cam fov.Camera, e index.Entry) {
 	ss.mu.RLock()
@@ -136,7 +143,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		max = s.cfg.DefaultMaxResults
 	}
 	sub := s.subs.add(req.Query, max)
-	s.logf("subscribe id=%d center=%v r=%.0fm", sub.id, req.Center, req.RadiusMeters)
+	s.reqLog(r).Info("subscribe",
+		"subID", sub.id,
+		"center", fmt.Sprint(req.Center),
+		"radiusMeters", req.RadiusMeters,
+	)
 	s.respondJSON(w, SubscribeResponse{ID: sub.id})
 }
 
