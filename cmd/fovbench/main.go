@@ -105,6 +105,7 @@ func main() {
 		{"ablation-abstraction", figures.TableAblationAbstraction},
 		{"ablation-measurement", func() *figures.Table { return figures.TableMeasurements(2000) }},
 		{"ablation-noise", figures.TableAblationNoise},
+		{"trace-overhead", func() *figures.Table { return figures.TableTraceOverhead(sizes[len(sizes)-1], queries) }},
 		{"heterogeneous", func() *figures.Table { return figures.TableHeterogeneous(60) }},
 	}
 

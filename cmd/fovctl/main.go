@@ -7,9 +7,17 @@
 //
 //	fovctl -server http://127.0.0.1:8477 capture -scenario walk -provider alice
 //	fovctl -server http://127.0.0.1:8477 query -lat 40.0013 -lng 116.326 -radius 20 -from 0 -to 60000
+//	fovctl -server http://127.0.0.1:8477 explain -lat 40.0013 -lng 116.326 -radius 20 -from 0 -to 60000
+//	fovctl -server http://127.0.0.1:8477 traces [-id q42]
 //	fovctl -server http://127.0.0.1:8477 watch -lat 40.0013 -lng 116.326 -radius 20 -polls 5
 //	fovctl -server http://127.0.0.1:8477 snapshot -out city.fovs
 //	fovctl -server http://127.0.0.1:8477 stats
+//
+// explain runs a query with explain=1 and prints the server's execution
+// trace: per-stage timings, R-tree traversal counters, and every
+// candidate the orientation filter rejected with the offending angle.
+// traces lists the server's retained (tail-sampled) traces, or dumps one
+// by id.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fovr/internal/client"
 	"fovr/internal/fov"
 	"fovr/internal/geo"
+	"fovr/internal/obs"
 	"fovr/internal/query"
 	"fovr/internal/segment"
 	"fovr/internal/trace"
@@ -42,6 +51,10 @@ func main() {
 		err = runCapture(c, args[1:])
 	case "query":
 		err = runQuery(c, args[1:])
+	case "explain":
+		err = runExplain(c, args[1:])
+	case "traces":
+		err = runTraces(c, args[1:])
 	case "watch":
 		err = runWatch(c, args[1:])
 	case "snapshot":
@@ -64,9 +77,11 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|watch|snapshot|forget|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|stats> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
+  explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
+  traces   [-id TRACE]
   watch    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-polls 10] [-interval 2s]
   snapshot -out FILE
   forget   -provider NAME
@@ -156,6 +171,106 @@ func runQuery(c *client.Client, args []string) error {
 			r.Entry.Rep.FoV.Theta, r.Entry.Rep.StartMillis, r.Entry.Rep.EndMillis)
 	}
 	return nil
+}
+
+func runExplain(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	lat := fs.Float64("lat", trace.ScenarioOrigin.Lat, "query center latitude")
+	lng := fs.Float64("lng", trace.ScenarioOrigin.Lng, "query center longitude")
+	radius := fs.Float64("radius", 20, "query radius in meters")
+	from := fs.Int64("from", 0, "start millis")
+	to := fs.Int64("to", 60_000, "end millis")
+	top := fs.Int("top", 10, "max results")
+	_ = fs.Parse(args)
+
+	resp, err := c.QueryExplain(query.Query{
+		StartMillis:  *from,
+		EndMillis:    *to,
+		Center:       geo.Point{Lat: *lat, Lng: *lng},
+		RadiusMeters: *radius,
+	}, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d results in %v (server-side)\n", len(resp.Results), time.Duration(resp.ElapsedMicros)*time.Microsecond)
+	for i, r := range resp.Results {
+		fmt.Printf("%2d. segment %d by %s: %.1f m away, facing %.0f°, t=[%d, %d]\n",
+			i+1, r.Entry.ID, r.Entry.Provider, r.DistanceMeters,
+			r.Entry.Rep.FoV.Theta, r.Entry.Rep.StartMillis, r.Entry.Rep.EndMillis)
+	}
+	if resp.Trace == nil {
+		return fmt.Errorf("explain: server returned no trace (old server?)")
+	}
+	fmt.Println()
+	printTrace(resp.Trace, true)
+	return nil
+}
+
+func runTraces(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	id := fs.String("id", "", "dump one retained trace by id instead of listing")
+	_ = fs.Parse(args)
+
+	if *id != "" {
+		tr, err := c.Trace(*id)
+		if err != nil {
+			return err
+		}
+		printTrace(tr, true)
+		return nil
+	}
+	resp, err := c.Traces()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retained %d of %d observed traces (errors %d, slow %d at >%gms, sampled %d at 1/%d)\n",
+		len(resp.Traces), resp.Stats.Observed, resp.Stats.KeptError,
+		resp.Stats.KeptSlow, resp.SlowThresholdMillis, resp.Stats.KeptSampled, resp.SampleRate)
+	for _, tr := range resp.Traces {
+		printTrace(tr, false)
+	}
+	return nil
+}
+
+// printTrace renders a query trace: one summary line per trace in list
+// mode, plus the stage/drop breakdown when verbose.
+func printTrace(tr *obs.QueryTrace, verbose bool) {
+	status := tr.Class
+	if status == "" {
+		status = "inline"
+	}
+	if tr.Err != "" {
+		status += " err=" + tr.Err
+	}
+	fmt.Printf("%-8s %-8s total=%-10v returned=%d/%d  %s\n",
+		tr.ID, status, tr.Total().Round(time.Microsecond), tr.Returned, tr.Ranked, tr.Query)
+	if !verbose {
+		return
+	}
+	fmt.Printf("  index:  %d nodes visited, %d leaf entries scanned, %d candidates\n",
+		tr.NodesVisited, tr.LeafEntriesScanned, tr.Candidates)
+	if tr.DropsTotal > 0 {
+		fmt.Printf("  filter: dropped %d", tr.DropsTotal)
+		for reason, n := range tr.DropCounts {
+			fmt.Printf("  %s=%d", reason, n)
+		}
+		fmt.Println()
+		for _, d := range tr.Drops {
+			switch d.Reason {
+			case obs.DropOrientation:
+				fmt.Printf("    segment %d: facing %.1f° off the query center, limit %.1f°\n",
+					d.EntryID, d.AngleDeg, d.LimitDeg)
+			default:
+				fmt.Printf("    segment %d: %s (%.1f m away)\n", d.EntryID, d.Reason, d.DistanceMeters)
+			}
+		}
+	}
+	if len(tr.Stages) > 0 {
+		fmt.Printf("  stages: %s\n", tr.StageSummary())
+	}
+	if tr.Truncated > 0 {
+		fmt.Printf("  rank:   truncated %d beyond top-%d\n", tr.Truncated, tr.Returned)
+	}
 }
 
 func runStats(c *client.Client) error {

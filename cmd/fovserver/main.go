@@ -7,7 +7,7 @@
 //
 //	fovserver [-addr :8477] [-half-angle 30] [-radius 100] [-max-results 20]
 //	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
-//	          [-debug-addr 127.0.0.1:8478]
+//	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
 //
 // With -save, a SIGINT/SIGTERM drains connections and writes the index
 // to the given snapshot file; -load restores one at startup.
@@ -18,6 +18,12 @@
 // alias — keep it bound to localhost, profiling endpoints are not meant
 // for the open internet. Request logs are structured (log/slog) with
 // per-request ids; -log-json switches them from key=value to JSON.
+//
+// Every query is traced; traces are tail-sampled into a bounded ring
+// served on GET /debug/traces. -slow-query sets the slow-query log and
+// retention threshold (0 disables slow detection); -trace-sample keeps
+// one in N ordinary queries (0 keeps none). Errored queries are always
+// retained.
 package main
 
 import (
@@ -47,6 +53,8 @@ func main() {
 	load := flag.String("load", "", "snapshot file to restore state from at startup (see GET /snapshot)")
 	save := flag.String("save", "", "snapshot file to write on SIGINT/SIGTERM before exiting")
 	debugAddr := flag.String("debug-addr", "", "optional second listener with /debug/pprof/ and /metrics (e.g. 127.0.0.1:8478)")
+	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "slow-query threshold for the slow log and trace retention (0 disables)")
+	traceSample := flag.Int("trace-sample", 16, "retain 1 in N ordinary query traces (0 retains none)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -56,8 +64,18 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	cfg := server.Config{
-		Camera:            fov.Camera{HalfAngleDeg: *halfAngle, RadiusMeters: *radius},
-		DefaultMaxResults: *maxResults,
+		Camera:             fov.Camera{HalfAngleDeg: *halfAngle, RadiusMeters: *radius},
+		DefaultMaxResults:  *maxResults,
+		SlowQueryThreshold: *slowQuery,
+		TraceSampleRate:    *traceSample,
+	}
+	// Flag value 0 means "off"; the Config zero value means "default",
+	// so translate explicitly.
+	if *slowQuery == 0 {
+		cfg.SlowQueryThreshold = -1
+	}
+	if *traceSample == 0 {
+		cfg.TraceSampleRate = -1
 	}
 	if !*quiet {
 		cfg.Logger = logger

@@ -36,6 +36,14 @@ var (
 	uploadRetries       = obs.GetOrCreateCounter("fovr_client_upload_retries_total")
 )
 
+// Stage timers for the client paths, resolved once instead of a
+// per-call registry lookup.
+var (
+	pushSpan      = obs.NewSpanTimer("capture.push")
+	uploadSpan    = obs.NewSpanTimer("upload.post")
+	roundtripSpan = obs.NewSpanTimer("query.roundtrip")
+)
+
 // CaptureSession is one recording in progress.
 type CaptureSession struct {
 	provider string
@@ -73,7 +81,7 @@ func (c *CaptureSession) Push(s fov.Sample) error {
 
 // PushAll feeds a whole recorded trace.
 func (c *CaptureSession) PushAll(samples []fov.Sample) error {
-	sp := obs.StartSpan("capture.push")
+	sp := pushSpan.Start()
 	defer sp.End()
 	for i, s := range samples {
 		if err := c.Push(s); err != nil {
@@ -138,7 +146,7 @@ func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("upload.post")
+	sp := uploadSpan.Start()
 	defer sp.End()
 	delay := c.RetryDelay
 	if delay <= 0 {
@@ -168,7 +176,7 @@ func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
 // Query runs a retrieval request and returns the ranked results along
 // with the server-reported search time.
 func (c *Client) Query(q query.Query, maxResults int) ([]query.Ranked, time.Duration, error) {
-	sp := obs.StartSpan("query.roundtrip")
+	sp := roundtripSpan.Start()
 	defer sp.End()
 	body, err := json.Marshal(server.QueryRequest{Query: q, MaxResults: maxResults})
 	if err != nil {
@@ -183,6 +191,63 @@ func (c *Client) Query(q query.Query, maxResults int) ([]query.Ranked, time.Dura
 		return nil, 0, fmt.Errorf("client: query response: %w", err)
 	}
 	return resp.Results, time.Duration(resp.ElapsedMicros) * time.Microsecond, nil
+}
+
+// QueryExplain runs a retrieval request with explain=1 and returns the
+// full response, including the inline query trace (stage timings, index
+// traversal counters, and the per-candidate drop breakdown).
+func (c *Client) QueryExplain(q query.Query, maxResults int) (server.QueryResponse, error) {
+	sp := roundtripSpan.Start()
+	defer sp.End()
+	body, err := json.Marshal(server.QueryRequest{Query: q, MaxResults: maxResults})
+	if err != nil {
+		return server.QueryResponse{}, err
+	}
+	respBody, err := c.post("/query?explain=1", "application/json", body)
+	if err != nil {
+		return server.QueryResponse{}, err
+	}
+	var resp server.QueryResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return server.QueryResponse{}, fmt.Errorf("client: explain response: %w", err)
+	}
+	return resp, nil
+}
+
+// Traces fetches the server's retained query traces (tail-sampled:
+// every errored and slow query, plus a 1-in-N sample of the rest).
+func (c *Client) Traces() (server.TracesResponse, error) {
+	var resp server.TracesResponse
+	if err := c.getJSON("/debug/traces", &resp); err != nil {
+		return server.TracesResponse{}, err
+	}
+	return resp, nil
+}
+
+// Trace fetches one retained trace by id.
+func (c *Client) Trace(id string) (*obs.QueryTrace, error) {
+	var tr obs.QueryTrace
+	if err := c.getJSON("/debug/traces/"+id, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	httpResp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return err
+	}
+	c.addTraffic(0, len(body))
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s: %s: %s", path, httpResp.Status, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
 }
 
 // Stats fetches the server's state summary.

@@ -29,6 +29,13 @@ import (
 	"fovr/internal/wire"
 )
 
+// Stage timers, resolved once against the Default registry instead of a
+// per-call registry lookup on the ingest/search hot paths.
+var (
+	insertSpan = obs.NewSpanTimer("index.insert")
+	searchSpan = obs.NewSpanTimer("query.search")
+)
+
 // Config assembles the pipeline.
 type Config struct {
 	// Camera is the shared viewing geometry: it drives the similarity
@@ -119,7 +126,7 @@ func (s *System) Ingest(provider string, reps []segment.Representative) ([]uint6
 	if provider == "" {
 		return nil, errors.New("core: empty provider")
 	}
-	sp := obs.StartSpan("index.insert")
+	sp := insertSpan.Start()
 	defer sp.End()
 	s.mu.Lock()
 	start := s.nextID
@@ -150,7 +157,7 @@ func (s *System) Search(q query.Query, n int) ([]query.Ranked, error) {
 	if n <= 0 {
 		n = s.cfg.DefaultMaxResults
 	}
-	sp := obs.StartSpan("query.search")
+	sp := searchSpan.Start()
 	defer sp.End()
 	return query.Search(s.idx, q, query.Options{Camera: s.cfg.Camera, MaxResults: n})
 }

@@ -1,0 +1,74 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fovr/internal/index"
+	"fovr/internal/obs"
+	"fovr/internal/query"
+	"fovr/internal/rtree"
+	"fovr/internal/workload"
+)
+
+// TableTraceOverhead measures what request-scoped tracing costs: the
+// same query batch is run with tracing off (the production hot path,
+// which must stay allocation-free) and with a full explain=1 trace per
+// query (stage timings, index counters, drop detail). The delta is the
+// price of answering "why was this query slow?" inline.
+func TableTraceOverhead(n, queries int) *Table {
+	if n <= 0 {
+		n = 20000
+	}
+	if queries <= 0 {
+		queries = 200
+	}
+	t := &Table{
+		Title:   "Tracing overhead — hot path vs explain=1",
+		Columns: []string{"mode", "query_us", "overhead_pct"},
+	}
+	cfg := workload.Config{Seed: 83}
+	entries := workload.Entries(cfg, n)
+	qs := workload.Queries(cfg, queries, 50, 3_600_000)
+	opts := query.Options{Camera: defaultCam, MaxResults: 10}
+
+	idx, err := index.BulkLoadRTree(rtree.Options{}, entries)
+	if err != nil {
+		panic(err)
+	}
+
+	run := func(traced bool) float64 {
+		start := time.Now()
+		for i, q := range qs {
+			if traced {
+				tr := obs.NewQueryTrace(fmt.Sprintf("bench-%d", i))
+				ctx := obs.WithTrace(context.Background(), tr)
+				if _, err := query.SearchCtx(ctx, idx, q, opts); err != nil {
+					panic(err)
+				}
+				tr.Finish(nil)
+			} else {
+				if _, err := query.Search(idx, q, opts); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / float64(len(qs))
+	}
+
+	// Warm both paths once so neither pays first-touch costs.
+	run(false)
+	run(true)
+
+	offUS := run(false)
+	onUS := run(true)
+	overhead := 0.0
+	if offUS > 0 {
+		overhead = (onUS - offUS) / offUS * 100
+	}
+	t.AddRow("tracing off", f1(offUS), "0.0")
+	t.AddRow("explain=1", f1(onUS), f1(overhead))
+	t.AddNote("Tracing off is the default for every query; explain=1 adds per-stage clocks, counted R-tree traversal, and per-drop detail for one request.")
+	return t
+}

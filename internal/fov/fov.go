@@ -155,3 +155,55 @@ func (f FoV) CoversCircle(c Camera, q geo.Point, radiusMeters float64) bool {
 	slack := math.Asin(math.Min(1, radiusMeters/d)) * 180 / math.Pi
 	return geo.AngleDiff(v.Bearing(), f.Theta) <= c.HalfAngleDeg+slack
 }
+
+// Coverage-miss reasons reported by ExplainCoversCircle.
+const (
+	// MissDistance: the camera stands beyond R + r, so its sector
+	// cannot reach the query circle at all.
+	MissDistance = "distance"
+	// MissOrientation: the camera is near enough but faces the wrong
+	// way — the improper-direction exclusion of Section V-B.
+	MissOrientation = "orientation"
+)
+
+// CoverageMiss explains a failed coverage test for query tracing. For
+// orientation misses, AngleDeg is the offending angle (camera heading
+// vs bearing to the query center) and LimitDeg the largest angle that
+// would still have covered.
+type CoverageMiss struct {
+	Reason            string
+	AngleDeg          float64
+	LimitDeg          float64
+	DistanceMeters    float64
+	MaxDistanceMeters float64
+}
+
+// ExplainCoversCircle is CoversCircle with a diagnosis: it reports the
+// same boolean, plus — when coverage fails — which test failed and by
+// how much. The decision logic must stay in lockstep with CoversCircle
+// (a property test enforces their agreement); the two are separate so
+// the hot path keeps its minimal form.
+func (f FoV) ExplainCoversCircle(c Camera, q geo.Point, radiusMeters float64) (bool, CoverageMiss) {
+	v := geo.Displacement(f.P, q)
+	d := v.Norm()
+	maxDist := c.RadiusMeters + radiusMeters
+	if d > maxDist {
+		return false, CoverageMiss{Reason: MissDistance, DistanceMeters: d, MaxDistanceMeters: maxDist}
+	}
+	if d <= radiusMeters {
+		return true, CoverageMiss{}
+	}
+	slack := math.Asin(math.Min(1, radiusMeters/d)) * 180 / math.Pi
+	angle := geo.AngleDiff(v.Bearing(), f.Theta)
+	limit := c.HalfAngleDeg + slack
+	if angle <= limit {
+		return true, CoverageMiss{}
+	}
+	return false, CoverageMiss{
+		Reason:            MissOrientation,
+		AngleDeg:          angle,
+		LimitDeg:          limit,
+		DistanceMeters:    d,
+		MaxDistanceMeters: maxDist,
+	}
+}

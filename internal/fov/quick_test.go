@@ -107,3 +107,44 @@ func TestQuickDeltaOfConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickExplainAgreesWithCoversCircle enforces the lockstep contract
+// between the hot-path coverage test and its explaining twin: same
+// boolean on every input, and a failed explanation must name a reason
+// consistent with the geometry.
+func TestQuickExplainAgreesWithCoversCircle(t *testing.T) {
+	type probe struct {
+		Theta, Dir, Dist, Radius float64
+	}
+	f := func(p probe) bool {
+		for _, v := range []float64{p.Theta, p.Dir, p.Dist, p.Radius} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		base := geo.Point{Lat: 40, Lng: 116.3}
+		cam := FoV{P: base, Theta: geo.NormalizeDeg(p.Theta)}
+		q := geo.Offset(base, geo.NormalizeDeg(p.Dir), math.Mod(math.Abs(p.Dist), 300))
+		r := math.Mod(math.Abs(p.Radius), 60)
+
+		covered := cam.CoversCircle(testCam, q, r)
+		explained, miss := cam.ExplainCoversCircle(testCam, q, r)
+		if covered != explained {
+			return false
+		}
+		if covered {
+			return miss == CoverageMiss{}
+		}
+		switch miss.Reason {
+		case MissDistance:
+			return miss.DistanceMeters > miss.MaxDistanceMeters
+		case MissOrientation:
+			return miss.AngleDeg > miss.LimitDeg && miss.DistanceMeters <= miss.MaxDistanceMeters
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

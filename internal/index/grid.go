@@ -1,11 +1,13 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"fovr/internal/geo"
+	"fovr/internal/obs"
 )
 
 // Grid is the third classic indexing alternative alongside the R-tree and
@@ -89,16 +91,36 @@ func (g *Grid) Remove(id uint64) bool {
 
 // Search implements Index.
 func (g *Grid) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
+	out, _, _ := g.searchCounted(r, startMillis, endMillis)
+	return out
+}
+
+// SearchCtx implements ContextSearcher: occupied cells visited map to a
+// trace's nodes-visited, entries tested to entries-scanned.
+func (g *Grid) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry {
+	out, cells, scanned := g.searchCounted(r, startMillis, endMillis)
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.AddIndexVisit(cells, scanned)
+	}
+	return out
+}
+
+func (g *Grid) searchCounted(r geo.Rect, startMillis, endMillis int64) (out []Entry, cellsVisited, entriesScanned int64) {
 	x0 := int32(math.Floor(r.MinLng / g.cellDeg))
 	x1 := int32(math.Floor(r.MaxLng / g.cellDeg))
 	y0 := int32(math.Floor(r.MinLat / g.cellDeg))
 	y1 := int32(math.Floor(r.MaxLat / g.cellDeg))
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	var out []Entry
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {
-			for _, e := range g.cells[gridKey{x, y}] {
+			cell := g.cells[gridKey{x, y}]
+			if len(cell) == 0 {
+				continue
+			}
+			cellsVisited++
+			entriesScanned += int64(len(cell))
+			for _, e := range cell {
 				if e.Rep.EndMillis < startMillis || e.Rep.StartMillis > endMillis {
 					continue
 				}
@@ -109,7 +131,7 @@ func (g *Grid) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
 			}
 		}
 	}
-	return out
+	return out, cellsVisited, entriesScanned
 }
 
 // Len implements Index.

@@ -17,12 +17,14 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"fovr/internal/fov"
 	"fovr/internal/geo"
+	"fovr/internal/obs"
 	"fovr/internal/rtree"
 	"fovr/internal/segment"
 )
@@ -83,6 +85,15 @@ type Index interface {
 	Search(r geo.Rect, startMillis, endMillis int64) []Entry
 	// Len returns the number of stored entries.
 	Len() int
+}
+
+// ContextSearcher is the optional Index extension the query-tracing
+// layer uses: a search that can report its traversal cost (nodes
+// visited, entries scanned) into the obs.QueryTrace carried by ctx.
+// With no trace in ctx it must behave exactly like Search. All indexes
+// in this package implement it.
+type ContextSearcher interface {
+	SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry
 }
 
 // entryRect maps a representative to its index-space rectangle.
@@ -181,6 +192,26 @@ func (x *RTree) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	return x.tree.SearchAll(q)
+}
+
+// SearchCtx implements ContextSearcher: when ctx carries a query trace,
+// the R-tree's per-call traversal counters (nodes visited, leaf entries
+// scanned) are recorded into it.
+func (x *RTree) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return x.Search(r, startMillis, endMillis)
+	}
+	q := queryRect(r, startMillis, endMillis)
+	x.mu.RLock()
+	var out []Entry
+	nodes, leafs := x.tree.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	x.mu.RUnlock()
+	tr.AddIndexVisit(nodes, leafs)
+	return out
 }
 
 // Len implements Index.
@@ -297,6 +328,17 @@ func (x *Linear) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
 			continue
 		}
 		out = append(out, e)
+	}
+	return out
+}
+
+// SearchCtx implements ContextSearcher. A linear index has no tree
+// nodes; every stored entry is one scanned entry, which is exactly the
+// cost a trace should show for the baseline.
+func (x *Linear) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry {
+	out := x.Search(r, startMillis, endMillis)
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.AddIndexVisit(0, int64(x.Len()))
 	}
 	return out
 }

@@ -13,22 +13,44 @@ import (
 //
 // Stage names are dotted paths over the pipeline:
 // "capture.push", "segment.split", "upload.post", "index.insert",
-// "query.search", ... A Span is a value; passing it around is cheap and
-// an unused span costs one histogram lookup.
+// "query.search", ... A Span is a value; passing it around is cheap.
 type Span struct {
 	h     *Histogram
 	start time.Time
 }
 
+// SpanTimer is a pre-resolved stage timer: the per-stage histogram is
+// looked up once, at construction, so starting a span on the hot path
+// costs a clock read instead of a fmt.Sprintf plus a registry map
+// lookup. Obtain one per stage at init time (package var or struct
+// field) and call Start per invocation.
+type SpanTimer struct {
+	h *Histogram
+}
+
+// SpanTimer returns a reusable timer for the stage against this
+// registry, resolving the histogram once.
+func (r *Registry) SpanTimer(stage string) SpanTimer {
+	return SpanTimer{h: r.Histogram(fmt.Sprintf("fovr_stage_seconds{stage=%q}", stage))}
+}
+
+// NewSpanTimer returns a reusable timer for the stage against the
+// Default registry.
+func NewSpanTimer(stage string) SpanTimer { return Default.SpanTimer(stage) }
+
+// Start begins timing one invocation of the stage.
+func (t SpanTimer) Start() Span { return Span{h: t.h, start: time.Now()} }
+
 // StartSpan begins timing a stage against the Default registry.
+//
+// It resolves the stage histogram on every call; hot paths should hold a
+// SpanTimer instead and Start it per invocation.
 func StartSpan(stage string) Span { return Default.StartSpan(stage) }
 
-// StartSpan begins timing a stage against this registry.
+// StartSpan begins timing a stage against this registry. See the package
+// function for the hot-path caveat.
 func (r *Registry) StartSpan(stage string) Span {
-	return Span{
-		h:     r.Histogram(fmt.Sprintf("fovr_stage_seconds{stage=%q}", stage)),
-		start: time.Now(),
-	}
+	return r.SpanTimer(stage).Start()
 }
 
 // End stops the span, records its duration, and returns it.

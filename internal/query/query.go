@@ -18,6 +18,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"fovr/internal/fov"
 	"fovr/internal/geo"
 	"fovr/internal/index"
+	"fovr/internal/obs"
 )
 
 // AreaType selects the empirical radius of view of Section V-B / VII.
@@ -116,33 +118,77 @@ type Ranked struct {
 
 // Search executes the full retrieval pipeline against an index and
 // returns results sorted by ascending distance to the query center,
-// truncated to MaxResults.
+// truncated to MaxResults. It is SearchCtx with no trace attached.
 func Search(idx index.Index, q Query, opts Options) ([]Ranked, error) {
+	return SearchCtx(context.Background(), idx, q, opts)
+}
+
+// SearchCtx is Search threaded through context.Context: when ctx
+// carries an obs.QueryTrace (see obs.WithTrace), the pipeline records
+// into it the index traversal cost, every filter drop with its reason
+// and offending angle, the ranked/truncated counts, and per-stage
+// timings named after the paper's Section V-B steps ("search" — the
+// 3-D box lookup, "filter" — orientation coverage, "rank" — sort and
+// top-N cut). Without a trace the pipeline is byte-for-byte the
+// untraced hot path: zero additional allocations.
+func SearchCtx(ctx context.Context, idx index.Index, q Query, opts Options) ([]Ranked, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if err := opts.Camera.Validate(); err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFrom(ctx)
 
 	// Step 1: query rectangle, padded by the radius of view so cameras
 	// outside the circle but able to see into it remain candidates.
 	rect := geo.RectAround(q.Center, q.RadiusMeters+opts.Camera.RadiusMeters)
-	candidates := idx.Search(rect, q.StartMillis, q.EndMillis)
+	var candidates []index.Entry
+	if tr == nil {
+		candidates = idx.Search(rect, q.StartMillis, q.EndMillis)
+	} else {
+		st := tr.StartStage("search")
+		if cs, ok := idx.(index.ContextSearcher); ok {
+			candidates = cs.SearchCtx(ctx, rect, q.StartMillis, q.EndMillis)
+		} else {
+			candidates = idx.Search(rect, q.StartMillis, q.EndMillis)
+		}
+		st.End()
+		tr.SetCandidates(len(candidates))
+	}
 
 	// Steps 2+3: orientation filter, then rank by distance. Entries from
 	// devices that declared their own optics are filtered with them;
 	// opts.Camera is the deployment default (and must bound the largest
 	// allowed device radius, since it sizes the candidate rectangle).
 	out := make([]Ranked, 0, len(candidates))
-	for _, e := range candidates {
-		d := geo.Distance(e.Rep.FoV.P, q.Center)
-		if !opts.SkipOrientationFilter &&
-			!e.Rep.FoV.CoversCircle(e.EffectiveCamera(opts.Camera), q.Center, q.RadiusMeters) {
-			continue
+	if tr == nil {
+		for _, e := range candidates {
+			d := geo.Distance(e.Rep.FoV.P, q.Center)
+			if !opts.SkipOrientationFilter &&
+				!e.Rep.FoV.CoversCircle(e.EffectiveCamera(opts.Camera), q.Center, q.RadiusMeters) {
+				continue
+			}
+			out = append(out, Ranked{Entry: e, DistanceMeters: d})
 		}
-		out = append(out, Ranked{Entry: e, DistanceMeters: d})
+	} else {
+		st := tr.StartStage("filter")
+		for _, e := range candidates {
+			d := geo.Distance(e.Rep.FoV.P, q.Center)
+			if !opts.SkipOrientationFilter {
+				covered, miss := e.Rep.FoV.ExplainCoversCircle(e.EffectiveCamera(opts.Camera), q.Center, q.RadiusMeters)
+				if !covered {
+					tr.Drop(e.ID, miss.Reason, miss.AngleDeg, miss.LimitDeg, miss.DistanceMeters)
+					continue
+				}
+			}
+			out = append(out, Ranked{Entry: e, DistanceMeters: d})
+		}
+		st.End()
+		tr.SetRanked(len(out))
 	}
+
+	rankStage := tr.StartStage("rank")
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].DistanceMeters != out[j].DistanceMeters {
 			return out[i].DistanceMeters < out[j].DistanceMeters
@@ -151,9 +197,13 @@ func Search(idx index.Index, q Query, opts Options) ([]Ranked, error) {
 	})
 
 	// Step 4: top N.
+	truncated := 0
 	if opts.MaxResults > 0 && len(out) > opts.MaxResults {
+		truncated = len(out) - opts.MaxResults
 		out = out[:opts.MaxResults]
 	}
+	rankStage.End()
+	tr.SetReturned(len(out), truncated)
 	return out, nil
 }
 

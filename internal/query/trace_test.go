@@ -1,0 +1,159 @@
+package query
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"fovr/internal/geo"
+	"fovr/internal/index"
+	"fovr/internal/obs"
+)
+
+// TestTraceDropAccounting is the observable half of the improper-
+// direction exclusion: a camera inside the query rectangle but facing
+// away must show up in the trace as an orientation drop — with the
+// offending angle — and never in the results.
+func TestTraceDropAccounting(t *testing.T) {
+	pitchSide := geo.Offset(center, 0, 50)
+	facingQuery := entry(1, pitchSide, 180, 0, 1000)
+	facingAway := entry(2, pitchSide, 0, 0, 1000)
+	idx := newIndex(t, facingQuery, facingAway)
+	q := Query{StartMillis: 0, EndMillis: 1000, Center: center, RadiusMeters: 20}
+
+	tr := obs.NewQueryTrace("q1")
+	ctx := obs.WithTrace(context.Background(), tr)
+	results, err := SearchCtx(ctx, idx, q, Options{Camera: cam, MaxResults: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish(nil)
+
+	if len(results) != 1 || results[0].Entry.ID != 1 {
+		t.Fatalf("results = %+v, want only the covering segment 1", results)
+	}
+	for _, r := range results {
+		if r.Entry.ID == 2 {
+			t.Fatal("non-covering segment 2 leaked into the results")
+		}
+	}
+	if tr.Candidates != 2 {
+		t.Fatalf("candidates = %d, want 2 (both are in the box)", tr.Candidates)
+	}
+	if tr.DropCounts[obs.DropOrientation] != 1 || tr.DropsTotal != 1 {
+		t.Fatalf("drop accounting = %v (total %d), want one orientation drop", tr.DropCounts, tr.DropsTotal)
+	}
+	if len(tr.Drops) != 1 {
+		t.Fatalf("drop detail missing: %+v", tr.Drops)
+	}
+	d := tr.Drops[0]
+	if d.EntryID != 2 || d.Reason != obs.DropOrientation {
+		t.Fatalf("drop = %+v, want segment 2 dropped for orientation", d)
+	}
+	// Facing due north with the query due south: the offending angle is
+	// 180° and must exceed the recorded limit.
+	if d.AngleDeg < 170 || d.AngleDeg > 180 || d.AngleDeg <= d.LimitDeg {
+		t.Fatalf("offending angle %v (limit %v) implausible for a camera facing away", d.AngleDeg, d.LimitDeg)
+	}
+	if tr.Ranked != 1 || tr.Returned != 1 || tr.Truncated != 0 {
+		t.Fatalf("rank accounting wrong: ranked=%d returned=%d truncated=%d", tr.Ranked, tr.Returned, tr.Truncated)
+	}
+}
+
+// TestTraceCountersAndStages checks the index-traversal counters and
+// that the per-stage clocks are present, named after Section V-B, and
+// sum to no more than the finished total.
+func TestTraceCountersAndStages(t *testing.T) {
+	entries := make([]index.Entry, 0, 64)
+	for i := 0; i < 64; i++ {
+		p := geo.Offset(center, float64(i*37%360), float64(i%9)*30)
+		entries = append(entries, entry(uint64(i+1), p, float64(i*53%360), 0, 1000))
+	}
+	idx := newIndex(t, entries...)
+	q := Query{StartMillis: 0, EndMillis: 1000, Center: center, RadiusMeters: 30}
+
+	tr := obs.NewQueryTrace("q2")
+	ctx := obs.WithTrace(context.Background(), tr)
+	if _, err := SearchCtx(ctx, idx, q, Options{Camera: cam, MaxResults: 5}); err != nil {
+		t.Fatal(err)
+	}
+	total := tr.Finish(nil)
+
+	if tr.NodesVisited <= 0 {
+		t.Fatalf("nodesVisited = %d, want > 0", tr.NodesVisited)
+	}
+	if tr.LeafEntriesScanned <= 0 {
+		t.Fatalf("leafEntriesScanned = %d, want > 0", tr.LeafEntriesScanned)
+	}
+	if tr.Candidates <= 0 {
+		t.Fatalf("candidates = %d, want > 0", tr.Candidates)
+	}
+	stages := map[string]int64{}
+	var sum int64
+	for _, st := range tr.Stages {
+		stages[st.Stage] = st.Nanos
+		sum += st.Nanos
+	}
+	for _, name := range []string{"search", "filter", "rank"} {
+		if _, ok := stages[name]; !ok {
+			t.Fatalf("stage %q missing from %v", name, stages)
+		}
+	}
+	if sum > total.Nanoseconds() {
+		t.Fatalf("stage sum %d exceeds total %d", sum, total.Nanoseconds())
+	}
+}
+
+// baselineSearch is the pre-tracing pipeline, inlined: rectangle lookup,
+// orientation filter, distance rank, top-N. The allocation test below
+// compares Search against it to prove threading the trace hooks through
+// the hot path added no allocations when tracing is off.
+func baselineSearch(idx index.Index, q Query, opts Options) []Ranked {
+	rect := geo.RectAround(q.Center, q.RadiusMeters+opts.Camera.RadiusMeters)
+	candidates := idx.Search(rect, q.StartMillis, q.EndMillis)
+	out := make([]Ranked, 0, len(candidates))
+	for _, e := range candidates {
+		d := geo.Distance(e.Rep.FoV.P, q.Center)
+		if !opts.SkipOrientationFilter &&
+			!e.Rep.FoV.CoversCircle(e.EffectiveCamera(opts.Camera), q.Center, q.RadiusMeters) {
+			continue
+		}
+		out = append(out, Ranked{Entry: e, DistanceMeters: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistanceMeters != out[j].DistanceMeters {
+			return out[i].DistanceMeters < out[j].DistanceMeters
+		}
+		return out[i].Entry.ID < out[j].Entry.ID
+	})
+	if opts.MaxResults > 0 && len(out) > opts.MaxResults {
+		out = out[:opts.MaxResults]
+	}
+	return out
+}
+
+// TestSearchZeroAllocWhenUntraced guards the tentpole's zero-cost
+// contract differentially: with no trace in the context, Search must
+// allocate exactly as much as the pipeline did before tracing existed.
+func TestSearchZeroAllocWhenUntraced(t *testing.T) {
+	entries := make([]index.Entry, 0, 128)
+	for i := 0; i < 128; i++ {
+		p := geo.Offset(center, float64(i*37%360), float64(i%11)*25)
+		entries = append(entries, entry(uint64(i+1), p, float64(i*53%360), 0, 1000))
+	}
+	idx := newIndex(t, entries...)
+	q := Query{StartMillis: 0, EndMillis: 1000, Center: center, RadiusMeters: 30}
+	opts := Options{Camera: cam, MaxResults: 5}
+
+	baseline := testing.AllocsPerRun(200, func() {
+		baselineSearch(idx, q, opts)
+	})
+	traced := testing.AllocsPerRun(200, func() {
+		if _, err := Search(idx, q, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced > baseline {
+		t.Fatalf("Search allocates %.1f/op untraced, baseline pipeline %.1f/op — tracing must be free when off", traced, baseline)
+	}
+}

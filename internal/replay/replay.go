@@ -45,6 +45,12 @@ type Config struct {
 	Noise trace.Noise
 }
 
+// Stage timers for the replay phases, resolved once.
+var (
+	captureSpan = obs.NewSpanTimer("replay.capture")
+	encodeSpan  = obs.NewSpanTimer("replay.encode")
+)
+
 // DefaultConfig is a mid-size city hour.
 var DefaultConfig = Config{
 	Seed:           1,
@@ -129,7 +135,7 @@ func Run(cfg Config) (Metrics, *core.System, error) {
 	samplePoints := make([]fov.Sample, 0, cfg.Providers) // one per provider, for query placement
 	ingestStart := time.Now()
 	for p := 0; p < cfg.Providers; p++ {
-		captureSpan := obs.StartSpan("replay.capture")
+		capSp := captureSpan.Start()
 		origin := geo.Offset(trace.ScenarioOrigin, rng.Float64()*360, rng.Float64()*cfg.ExtentMeters)
 		start := int64(rng.Float64() * float64(cfg.HorizonMillis))
 		clean, err := trace.RandomWalk(trace.Config{SampleHz: cfg.SampleHz, StartMillis: start},
@@ -138,7 +144,7 @@ func Run(cfg Config) (Metrics, *core.System, error) {
 			return Metrics{}, nil, err
 		}
 		noisy := cfg.Noise.Apply(rng, clean)
-		m.CaptureTime += captureSpan.End()
+		m.CaptureTime += capSp.End()
 		m.Frames += len(noisy)
 		samplePoints = append(samplePoints, noisy[rng.Intn(len(noisy))])
 
@@ -150,12 +156,12 @@ func Run(cfg Config) (Metrics, *core.System, error) {
 		}
 		m.SegmentTime += time.Since(segmentStart)
 		reps := segment.Representatives(results)
-		encodeSpan := obs.StartSpan("replay.encode")
+		encSp := encodeSpan.Start()
 		data, err := wire.EncodeBinary(wire.Upload{Provider: fmt.Sprintf("p%04d", p), Reps: reps})
 		if err != nil {
 			return Metrics{}, nil, err
 		}
-		m.EncodeTime += encodeSpan.End()
+		m.EncodeTime += encSp.End()
 		m.UploadBytes += int64(len(data))
 		indexStart := time.Now()
 		ids, err := sys.Ingest(fmt.Sprintf("p%04d", p), reps)

@@ -407,9 +407,19 @@ func abs(x float64) float64 {
 // Search calls fn for every stored item whose rectangle intersects q.
 // Return false from fn to stop early. The traversal order is unspecified.
 func (t *Tree[T]) Search(q Rect, fn func(Rect, T) bool) {
+	t.SearchCounted(q, fn)
+}
+
+// SearchCounted is Search, additionally reporting the cost of this one
+// traversal: the nodes whose entries were examined and the leaf entries
+// tested against q. The same counts still accumulate into the tree's
+// lifetime Stats; the return values are the per-call slice of them that
+// a query trace records.
+func (t *Tree[T]) SearchCounted(q Rect, fn func(Rect, T) bool) (nodesVisited, leafEntriesScanned int64) {
 	var c searchCounters
 	t.search(t.root, q, fn, &c)
 	t.recordSearch(c)
+	return c.nodes, c.leafs
 }
 
 func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool, c *searchCounters) bool {

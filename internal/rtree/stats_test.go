@@ -1,6 +1,9 @@
 package rtree
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestStatsCounters(t *testing.T) {
 	tr := MustNew[int](Options{MaxEntries: 4})
@@ -64,5 +67,40 @@ func TestStatsCounters(t *testing.T) {
 	}
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSearchCountedPerCall(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tree := MustNew[int](Options{MaxEntries: 8})
+	for i := 0; i < 500; i++ {
+		if err := tree.Insert(randRect(rng, false), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tree.Stats()
+	q := randRect(rng, false)
+	hits := 0
+	nodes, leafs := tree.SearchCounted(q, func(Rect, int) bool { hits++; return true })
+	if nodes <= 0 {
+		t.Fatalf("nodesVisited = %d, want > 0 (root is always examined)", nodes)
+	}
+	if int64(hits) > leafs {
+		t.Fatalf("returned %d hits but scanned only %d leaf entries", hits, leafs)
+	}
+	after := tree.Stats()
+	if after.Searches != before.Searches+1 {
+		t.Fatalf("lifetime searches advanced by %d, want 1", after.Searches-before.Searches)
+	}
+	if after.NodeVisits-before.NodeVisits != nodes || after.LeafEntriesScanned-before.LeafEntriesScanned != leafs {
+		t.Fatalf("per-call counts (%d, %d) disagree with lifetime deltas (%d, %d)",
+			nodes, leafs, after.NodeVisits-before.NodeVisits, after.LeafEntriesScanned-before.LeafEntriesScanned)
+	}
+
+	// Counted and plain search must agree on the result set.
+	want := map[int]bool{}
+	tree.Search(q, func(_ Rect, v int) bool { want[v] = true; return true })
+	if len(want) != hits {
+		t.Fatalf("SearchCounted saw %d hits, Search saw %d", hits, len(want))
 	}
 }

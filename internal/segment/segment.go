@@ -31,6 +31,7 @@ var (
 	framesTotal   = obs.GetOrCreateCounter("fovr_segment_frames_total")
 	segmentsTotal = obs.GetOrCreateCounter("fovr_segment_segments_total")
 	frameSeconds  = obs.GetOrCreateHistogram("fovr_segment_frame_seconds")
+	splitSpan     = obs.NewSpanTimer("segment.split")
 )
 
 // Segment is one similarity-coherent piece of a video: the member samples,
@@ -278,7 +279,7 @@ func Split(cfg Config, samples []fov.Sample) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("segment.split")
+	sp := splitSpan.Start()
 	var out []Result
 	for _, s := range samples {
 		res, err := sg.Push(s)

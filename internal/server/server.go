@@ -11,14 +11,21 @@
 //	                JSON Upload (application/json). Registers every
 //	                representative; responds with the assigned ids.
 //	POST /query   — body: JSON query.Query (+ optional maxResults).
-//	                Responds with the ranked result list.
+//	                Responds with the ranked result list; ?explain=1
+//	                additionally inlines the full query trace.
 //	GET  /stats   — index size, per-provider counts, traffic totals.
 //	GET  /metrics — Prometheus text-format exposition of the registry.
 //	GET  /healthz — liveness: uptime and build info, text/plain.
+//	GET  /debug/traces      — tail-sampled query traces (every errored
+//	                          query, every slow one, 1-in-N of the rest).
+//	GET  /debug/traces/{id} — one retained trace by id.
 //
 // Every request is counted and timed per endpoint and status code in the
 // observability registry (package obs), and logged through a structured
-// slog logger with a per-request id.
+// slog logger with a per-request id. Each query additionally carries a
+// request-scoped obs.QueryTrace through context.Context into the
+// retrieval pipeline; queries slower than Config.SlowQueryThreshold are
+// logged with their trace id and per-stage breakdown.
 package server
 
 import (
@@ -32,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +74,19 @@ type Config struct {
 	// /metrics endpoint then also exposes client- and segmenter-side
 	// metrics recorded elsewhere in the process.
 	Registry *obs.Registry
+	// SlowQueryThreshold marks queries at or above this duration as
+	// slow: they are logged with their trace id and stage breakdown and
+	// always retained in the trace store. Zero selects 100ms; negative
+	// disables slow-query handling.
+	SlowQueryThreshold time.Duration
+	// TraceSampleRate keeps the trace of 1 in N ordinary queries (in
+	// addition to every errored and every slow one) so /debug/traces
+	// always shows normal behaviour to compare against. Zero selects
+	// 16; negative disables sampling.
+	TraceSampleRate int
+	// TraceCapacity bounds each trace-store retention ring. Zero
+	// selects 256.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,10 +114,15 @@ type Server struct {
 	idx     *index.RTree
 	subs    *subscriptions
 	traffic wire.TrafficMeter
+	traces  *obs.TraceStore // tail-sampled query traces (/debug/traces)
 
-	reqSeq    atomic.Uint64 // per-request ids for log correlation
-	requests  atomic.Int64  // total HTTP requests served (Stats)
-	rollbacks *obs.Counter  // uploads rolled back mid-insert
+	spanInsert obs.SpanTimer // index.insert stage timer, resolved once
+	spanQuery  obs.SpanTimer // query.search stage timer, resolved once
+
+	reqSeq      atomic.Uint64 // per-request ids for log correlation
+	requests    atomic.Int64  // total HTTP requests served (Stats)
+	rollbacks   *obs.Counter  // uploads rolled back mid-insert
+	slowQueries *obs.Counter  // queries at/over SlowQueryThreshold
 
 	mu         sync.Mutex
 	nextID     uint64
@@ -128,7 +154,15 @@ func New(cfg Config) (*Server, error) {
 		byProvider: make(map[string]int),
 		started:    time.Now(),
 	}
+	s.traces = obs.NewTraceStore(obs.TraceStoreConfig{
+		Capacity:      cfg.TraceCapacity,
+		SlowThreshold: cfg.SlowQueryThreshold,
+		SampleRate:    cfg.TraceSampleRate,
+	})
+	s.spanInsert = s.reg.SpanTimer("index.insert")
+	s.spanQuery = s.reg.SpanTimer("query.search")
 	s.rollbacks = s.reg.Counter("fovr_upload_rollbacks_total")
+	s.slowQueries = s.reg.Counter("fovr_slow_queries_total")
 	s.registerMetrics()
 	return s, nil
 }
@@ -155,6 +189,8 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("fovr_rtree_deletes_total", treeStat(func(st rtree.Stats) int64 { return st.Deletes }))
 	s.reg.CounterFunc("fovr_rtree_reinserts_total", treeStat(func(st rtree.Stats) int64 { return st.Reinserts }))
 	s.reg.CounterFunc("fovr_rtree_splits_total", treeStat(func(st rtree.Stats) int64 { return st.Splits }))
+	s.reg.CounterFunc("fovr_query_traces_observed_total", func() float64 { return float64(s.traces.Stats().Observed) })
+	s.reg.CounterFunc("fovr_query_traces_kept_total", func() float64 { return float64(s.traces.Stats().Kept()) })
 }
 
 // nopHandler silences slog when no logger is configured.
@@ -193,7 +229,7 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 	if u.Provider == "" {
 		return nil, errors.New("server: empty provider")
 	}
-	sp := s.reg.StartSpan("index.insert")
+	sp := s.spanInsert.Start()
 	defer sp.End()
 	ids := make([]uint64, 0, len(u.Reps))
 	entries := make([]index.Entry, 0, len(u.Reps))
@@ -231,16 +267,26 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 
 // Query answers a retrieval request directly (in-process fast path).
 func (s *Server) Query(q query.Query, maxResults int) ([]query.Ranked, error) {
+	return s.QueryCtx(context.Background(), q, maxResults)
+}
+
+// QueryCtx is Query threaded through context.Context, so a caller that
+// attached an obs.QueryTrace (see obs.WithTrace) gets the per-stage
+// events and timings of this one retrieval recorded into it.
+func (s *Server) QueryCtx(ctx context.Context, q query.Query, maxResults int) ([]query.Ranked, error) {
 	if maxResults <= 0 {
 		maxResults = s.cfg.DefaultMaxResults
 	}
-	sp := s.reg.StartSpan("query.search")
+	sp := s.spanQuery.Start()
 	defer sp.End()
-	return query.Search(s.index(), q, query.Options{
+	return query.SearchCtx(ctx, s.index(), q, query.Options{
 		Camera:     s.cfg.Camera,
 		MaxResults: maxResults,
 	})
 }
+
+// Traces exposes the server's tail-sampled trace store.
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
 
 // LoadSnapshot replaces the server's state with a snapshot (package
 // snapshot format). Intended for startup, before serving traffic.
@@ -282,12 +328,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/forget", s.instrument("/forget", s.handleForget))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
+	// The metric label elides the {id} wildcard: label values share the
+	// metric-name character set, which excludes braces.
+	mux.HandleFunc("/debug/traces/{id}", s.instrument("/debug/traces/:id", s.handleTraceByID))
 	return mux
 }
 
 type ctxKey int
 
-const requestLoggerKey ctxKey = 0
+const (
+	requestLoggerKey ctxKey = 0
+	requestIDKey     ctxKey = 1
+)
 
 // statusWriter captures the response status and size for metrics.
 type statusWriter struct {
@@ -321,7 +374,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		reqLog := s.log.With("reqID", id, "endpoint", endpoint)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h(sw, r.WithContext(context.WithValue(r.Context(), requestLoggerKey, reqLog)))
+		ctx := context.WithValue(r.Context(), requestLoggerKey, reqLog)
+		ctx = context.WithValue(ctx, requestIDKey, id)
+		h(sw, r.WithContext(ctx))
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
@@ -345,6 +400,16 @@ func (s *Server) reqLog(r *http.Request) *slog.Logger {
 		return l
 	}
 	return s.log
+}
+
+// traceID derives a trace id from the request id installed by
+// instrument, so trace and log records correlate; direct handler
+// invocations (tests) fall back to the request sequence.
+func (s *Server) traceID(r *http.Request) string {
+	if id, ok := r.Context().Value(requestIDKey).(uint64); ok {
+		return "q" + strconv.FormatUint(id, 10)
+	}
+	return "q" + strconv.FormatUint(s.reqSeq.Add(1), 10)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +507,12 @@ type QueryResponse struct {
 	// ElapsedMicros is the server-side search time, reported so clients
 	// can observe the sub-100 ms claim directly.
 	ElapsedMicros int64 `json:"elapsedMicros"`
+	// TraceID names this query's trace; GET /debug/traces/{id} returns
+	// it while it remains retained in the tail-sampling store.
+	TraceID string `json:"traceID,omitempty"`
+	// Trace is the full inline trace, present when the request asked
+	// for it with ?explain=1.
+	Trace *obs.QueryTrace `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -460,8 +531,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "json: %v", err)
 		return
 	}
-	begin := time.Now()
-	results, err := s.Query(req.Query, req.MaxResults)
+	explain := r.URL.Query().Get("explain") == "1"
+
+	// Every query is traced; the tail-sampling store decides afterwards
+	// whether the trace is worth keeping (errored, slow, or sampled).
+	tr := obs.NewQueryTrace(s.traceID(r))
+	tr.SetQuery(fmt.Sprintf("center=(%.6f,%.6f) r=%.0fm t=[%d,%d] top=%d",
+		req.Center.Lat, req.Center.Lng, req.RadiusMeters, req.StartMillis, req.EndMillis, req.MaxResults))
+	results, err := s.QueryCtx(obs.WithTrace(r.Context(), tr), req.Query, req.MaxResults)
+	total := tr.Finish(err)
+	s.traces.Observe(tr)
+	s.logSlowQuery(r, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -475,11 +555,80 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"startMillis", req.StartMillis,
 		"endMillis", req.EndMillis,
 		"hits", len(results),
+		"traceID", tr.ID,
 	)
-	s.respondJSON(w, QueryResponse{
+	resp := QueryResponse{
 		Results:       results,
-		ElapsedMicros: time.Since(begin).Microseconds(),
+		ElapsedMicros: total.Microseconds(),
+		TraceID:       tr.ID,
+	}
+	if explain {
+		resp.Trace = tr
+	}
+	s.respondJSON(w, resp)
+}
+
+// logSlowQuery emits the slow-query log line: one Warn record carrying
+// the trace id, the stage breakdown, and the work counters, so a slow
+// query is diagnosable from the log alone.
+func (s *Server) logSlowQuery(r *http.Request, tr *obs.QueryTrace) {
+	th := s.traces.SlowThreshold()
+	if th <= 0 || tr.Total() < th {
+		return
+	}
+	s.slowQueries.Inc()
+	s.reqLog(r).Warn("slow query",
+		"traceID", tr.ID,
+		"totalMicros", tr.Total().Microseconds(),
+		"stages", tr.StageSummary(),
+		"nodesVisited", tr.NodesVisited,
+		"entriesScanned", tr.LeafEntriesScanned,
+		"candidates", tr.Candidates,
+		"dropped", tr.DropsTotal,
+		"returned", tr.Returned,
+		"query", tr.Query,
+	)
+}
+
+// TracesResponse is the body of GET /debug/traces: the store's
+// configuration and admission counters plus the retained traces,
+// newest first.
+type TracesResponse struct {
+	SlowThresholdMillis float64             `json:"slowThresholdMillis"`
+	SampleRate          int                 `json:"sampleRate"`
+	Stats               obs.TraceStoreStats `json:"stats"`
+	Traces              []*obs.QueryTrace   `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	traces := s.traces.Traces()
+	if traces == nil {
+		traces = []*obs.QueryTrace{}
+	}
+	s.respondJSON(w, TracesResponse{
+		SlowThresholdMillis: float64(s.traces.SlowThreshold()) / float64(time.Millisecond),
+		SampleRate:          s.traces.SampleRate(),
+		Stats:               s.traces.Stats(),
+		Traces:              traces,
 	})
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := r.PathValue("id")
+	t := s.traces.Get(id)
+	if t == nil {
+		httpError(w, http.StatusNotFound, "no retained trace %q (evicted or never kept)", id)
+		return
+	}
+	s.respondJSON(w, t)
 }
 
 // Stats reports service state. Every number is also exported in
