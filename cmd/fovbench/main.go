@@ -107,6 +107,13 @@ func main() {
 		{"ablation-noise", figures.TableAblationNoise},
 		{"trace-overhead", func() *figures.Table { return figures.TableTraceOverhead(sizes[len(sizes)-1], queries) }},
 		{"heterogeneous", func() *figures.Table { return figures.TableHeterogeneous(60) }},
+		{"shard-scaling", func() *figures.Table {
+			n := 20000
+			if *quick {
+				n = 5000
+			}
+			return figures.TableShardScaling(n, queries)
+		}},
 	}
 
 	selected := func(j job) bool {

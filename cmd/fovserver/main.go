@@ -6,8 +6,16 @@
 // Usage:
 //
 //	fovserver [-addr :8477] [-half-angle 30] [-radius 100] [-max-results 20]
+//	          [-index rtree|sharded] [-shard-window 1h] [-shard-workers 0]
 //	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
 //	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
+//
+// -index selects the spatio-temporal index implementation: "rtree" (one
+// global 3-D R-tree, the paper's design) or "sharded" (per-time-window
+// R-tree shards; uploads lock only their shard and queries fan out in
+// parallel). -shard-window sets the shard width and -shard-workers the
+// per-query fan-out bound (0 = automatic); both apply to -index=sharded
+// only.
 //
 // With -save, a SIGINT/SIGTERM drains connections and writes the index
 // to the given snapshot file; -load restores one at startup.
@@ -48,6 +56,9 @@ func main() {
 	halfAngle := flag.Float64("half-angle", 30, "camera viewing half-angle alpha in degrees")
 	radius := flag.Float64("radius", 100, "radius of view R in meters")
 	maxResults := flag.Int("max-results", 20, "default top-N for queries")
+	indexKind := flag.String("index", server.IndexKindRTree, "index implementation: rtree | sharded")
+	shardWindow := flag.Duration("shard-window", time.Hour, "time-shard width for -index=sharded")
+	shardWorkers := flag.Int("shard-workers", 0, "per-query shard fan-out bound for -index=sharded (0 = automatic)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	logJSON := flag.Bool("log-json", false, "emit JSON request logs instead of key=value")
 	load := flag.String("load", "", "snapshot file to restore state from at startup (see GET /snapshot)")
@@ -66,6 +77,9 @@ func main() {
 	cfg := server.Config{
 		Camera:             fov.Camera{HalfAngleDeg: *halfAngle, RadiusMeters: *radius},
 		DefaultMaxResults:  *maxResults,
+		IndexKind:          *indexKind,
+		ShardWindow:        *shardWindow,
+		ShardWorkers:       *shardWorkers,
 		SlowQueryThreshold: *slowQuery,
 		TraceSampleRate:    *traceSample,
 	}
@@ -105,7 +119,8 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("fovserver listening",
-		"addr", l.Addr().String(), "halfAngleDeg", *halfAngle, "radiusMeters", *radius)
+		"addr", l.Addr().String(), "halfAngleDeg", *halfAngle, "radiusMeters", *radius,
+		"index", *indexKind)
 
 	if *debugAddr != "" {
 		dl, err := net.Listen("tcp", *debugAddr)

@@ -1,0 +1,221 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/index"
+	"fovr/internal/query"
+	"fovr/internal/rtree"
+	"fovr/internal/segment"
+)
+
+// shardScaleCity anchors the synthetic corpus; entries scatter across
+// ~5 km of it and a day of capture time, like the index test corpus.
+var shardScaleCity = geo.Point{Lat: 40.0, Lng: 116.3}
+
+// shardScaleBatchLen is the upload size: one capture session's worth of
+// representatives, inserted with one InsertBatch like the server does.
+const shardScaleBatchLen = 64
+
+// shardScaleWindow is the sharded index's time-shard width (1 h).
+const shardScaleWindow = int64(3_600_000)
+
+// shardScaleBatches builds a deterministic corpus of n representatives
+// grouped into upload batches. Each batch models one capture session:
+// its segments are temporally contiguous (~2 s apart, <= 60 s long), and
+// session start times spread uniformly over a day — so a batch lands in
+// one or two of the 24 one-hour shard windows, the way real uploads do.
+func shardScaleBatches(n int) [][]index.Entry {
+	rng := rand.New(rand.NewSource(51))
+	var batches [][]index.Entry
+	id := uint64(1)
+	for len(batches)*shardScaleBatchLen < n {
+		remain := n - len(batches)*shardScaleBatchLen
+		size := shardScaleBatchLen
+		if size > remain {
+			size = remain
+		}
+		base := int64(rng.Intn(86_400_000))
+		batch := make([]index.Entry, size)
+		for i := range batch {
+			p := geo.Offset(shardScaleCity, rng.Float64()*360, rng.Float64()*5000)
+			start := base + int64(i)*2000 + int64(rng.Intn(500))
+			batch[i] = index.Entry{
+				ID:       id,
+				Provider: fmt.Sprintf("client-%d", len(batches)%64),
+				Rep: segment.Representative{
+					FoV:         fov.FoV{P: p, Theta: rng.Float64() * 360},
+					StartMillis: start,
+					EndMillis:   start + int64(rng.Intn(60_000)),
+				},
+			}
+			id++
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// shardScaleIngest pushes the corpus through w concurrent writers, one
+// InsertBatch per upload, and returns the wall-clock time until every
+// writer has finished.
+func shardScaleIngest(idx index.ServerIndex, batches [][]index.Entry, w int) time.Duration {
+	work := make(chan []index.Entry, len(batches))
+	for _, b := range batches {
+		work <- b
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				if err := idx.InsertBatch(b); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// shardScaleCritPath measures, with a single uncontended writer, how the
+// ingest's lock-serialized work distributes over the index's locks: each
+// batch's insert time is charged to the lock the batch takes (the one
+// global tree lock, or the shard of the batch's time window). It returns
+// the total serialized time and the heaviest single lock's share — the
+// critical path. serial/crit is the Amdahl bound on multi-writer ingest
+// speedup: 1.0 for the global tree by construction, roughly the live
+// shard count for the sharded index. Unlike wall-clock speedup, the
+// bound is a property of the locking design, not of how many cores the
+// benchmark host happens to have.
+func shardScaleCritPath(mk func() index.ServerIndex, batches [][]index.Entry) (serial, crit time.Duration) {
+	idx := mk()
+	_, sharded := idx.(*index.Sharded)
+	perLock := make(map[int64]time.Duration)
+	for _, b := range batches {
+		key := int64(0)
+		if sharded {
+			// The lock a session batch contends on: its window's shard.
+			key = b[0].Rep.StartMillis / shardScaleWindow
+		}
+		start := time.Now()
+		if err := idx.InsertBatch(b); err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		serial += d
+		perLock[key] += d
+	}
+	for _, d := range perLock {
+		if d > crit {
+			crit = d
+		}
+	}
+	return serial, crit
+}
+
+// shardScaleQueries runs the full retrieval pipeline against the loaded
+// index and returns per-query latency percentiles in microseconds.
+func shardScaleQueries(idx index.Index, queries int) (p50, p99 float64) {
+	rng := rand.New(rand.NewSource(52))
+	opts := query.Options{Camera: defaultCam, MaxResults: 20}
+	lat := make([]float64, 0, queries)
+	for i := 0; i < queries; i++ {
+		center := geo.Offset(shardScaleCity, rng.Float64()*360, rng.Float64()*5000)
+		ts := int64(rng.Intn(86_400_000))
+		q := query.Query{
+			StartMillis: ts, EndMillis: ts + 3_600_000,
+			Center: center, RadiusMeters: 30,
+		}
+		start := time.Now()
+		if _, err := query.Search(idx, q, opts); err != nil {
+			panic(err)
+		}
+		lat = append(lat, float64(time.Since(start).Nanoseconds())/1000)
+	}
+	sort.Float64s(lat)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// TableShardScaling compares the single-tree index against the sharded
+// index under growing writer concurrency. Wall-clock ingest throughput
+// at 1, 4, and 16 writers shows what the benchmark host's cores allow;
+// the lock critical path (measured uncontended, reported as the Amdahl
+// speedup bound "max_par") shows what the locking design allows: the
+// single global tree lock pins the bound at 1.0 regardless of writers,
+// while per-window shard locks spread the same work over ~24 locks.
+// Query latency percentiles over the loaded 20 k-entry corpus complete
+// the trade-off: fan-out across shards must stay within ~20% of the
+// single tree.
+func TableShardScaling(entries, queries int) *Table {
+	t := &Table{
+		Title: "Sharded vs single-tree index — ingest scaling and query cost",
+		Columns: []string{"writers", "index", "ingest_ms", "kentries_per_sec",
+			"speedup", "max_par", "query_p50_us", "query_p99_us"},
+	}
+	batches := shardScaleBatches(entries)
+	mk := map[string]func() index.ServerIndex{
+		"rtree": func() index.ServerIndex {
+			idx, err := index.NewRTree(rtree.Options{})
+			if err != nil {
+				panic(err)
+			}
+			return idx
+		},
+		"sharded": func() index.ServerIndex {
+			idx, err := index.NewSharded(index.ShardedOptions{WindowMillis: shardScaleWindow})
+			if err != nil {
+				panic(err)
+			}
+			return idx
+		},
+	}
+	bound := make(map[string]float64)
+	for _, kind := range []string{"rtree", "sharded"} {
+		serial, crit := shardScaleCritPath(mk[kind], batches)
+		bound[kind] = serial.Seconds() / crit.Seconds()
+	}
+	for _, writers := range []int{1, 4, 16} {
+		var base float64
+		for _, kind := range []string{"rtree", "sharded"} {
+			idx := mk[kind]()
+			ingest := shardScaleIngest(idx, batches, writers)
+			if idx.Len() != entries {
+				panic(fmt.Sprintf("ingest lost entries: %d of %d", idx.Len(), entries))
+			}
+			rate := float64(entries) / ingest.Seconds() / 1000
+			speedup := 1.0
+			if kind == "rtree" {
+				base = rate
+			} else {
+				speedup = rate / base
+			}
+			p50, p99 := shardScaleQueries(idx, queries)
+			t.AddRow(fmt.Sprint(writers), kind,
+				f1(float64(ingest.Microseconds())/1000), f1(rate),
+				fmt.Sprintf("%.2f", speedup), f1(bound[kind]),
+				f1(p50), f1(p99))
+		}
+	}
+	t.AddNote("Corpus: %d representatives in %d-entry session batches (contiguous capture, one InsertBatch each) spread over 24 one-hour shard windows; GOMAXPROCS=%d.",
+		entries, shardScaleBatchLen, runtime.GOMAXPROCS(0))
+	t.AddNote("speedup: sharded wall-clock ingest rate over the single tree at the same writer count — bounded by min(max_par, cores).")
+	t.AddNote("max_par: Amdahl bound serial/critical-path from per-lock ingest accounting — 1.0 for the global tree lock by construction; the sharded bound (~live shards) is what multi-core hardware can realize, >= 2x at 16 writers.")
+	t.AddNote("Queries: %d full-pipeline retrievals with 1 h windows and 30 m radius; expectation: sharded p50 within ~20%% of the single tree.", queries)
+	return t
+}

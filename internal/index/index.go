@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"fovr/internal/fov"
@@ -96,6 +97,44 @@ type ContextSearcher interface {
 	SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry
 }
 
+// BatchInserter is the Index extension the upload path uses: adding a
+// whole upload atomically, taking each internal lock once instead of
+// once per representative. An InsertBatch is all-or-nothing — on error
+// no entry of the batch remains indexed.
+type BatchInserter interface {
+	InsertBatch(entries []Entry) error
+}
+
+// NearestSearcher answers the radius-free query form: up to k entries
+// nearest to center whose interval intersects [startMillis, endMillis]
+// and which pass keep, nearest first (see RTree.Nearest for the exact
+// metric).
+type NearestSearcher interface {
+	Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor
+}
+
+// ServerIndex is the full contract the cloud server needs from its
+// index: the core Index operations plus traced search, batch ingest,
+// nearest-neighbour ranking, snapshotting, and the diagnostics exposed
+// at /metrics. RTree and Sharded both implement it, which is what lets
+// the server swap implementations behind one flag.
+type ServerIndex interface {
+	Index
+	ContextSearcher
+	BatchInserter
+	NearestSearcher
+	// Entries returns a copy of every stored entry (snapshot input).
+	Entries() []Entry
+	// Height is the worst-case tree depth a query can traverse.
+	Height() int
+	// NodeCount counts index nodes (diagnostics).
+	NodeCount() int
+	// TreeStats aggregates lifetime operation counters for /metrics.
+	TreeStats() rtree.Stats
+	// CheckInvariants validates internal structure (tests only).
+	CheckInvariants() error
+}
+
 // entryRect maps a representative to its index-space rectangle.
 func entryRect(rep segment.Representative) rtree.Rect {
 	return rtree.Rect{
@@ -168,6 +207,54 @@ func (x *RTree) Insert(e Entry) error {
 	}
 	x.rects[e.ID] = r
 	return nil
+}
+
+// InsertBatch implements BatchInserter: the whole batch is validated,
+// checked for duplicates, and inserted under a single acquisition of
+// the tree lock. On any failure the already-inserted prefix is removed
+// again, so the batch is all-or-nothing.
+func (x *RTree) InsertBatch(entries []Entry) error {
+	rects := make([]rtree.Rect, len(entries))
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("index: batch entry %d: %w", i, err)
+		}
+		rects[i] = entryRect(e.Rep)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	rollback := func(n int) {
+		for j := 0; j < n; j++ {
+			e := entries[j]
+			x.tree.Delete(rects[j], func(d Entry) bool { return d.ID == e.ID })
+			delete(x.rects, e.ID)
+		}
+	}
+	for i, e := range entries {
+		if _, dup := x.rects[e.ID]; dup {
+			rollback(i)
+			return fmt.Errorf("index: duplicate id %d", e.ID)
+		}
+		if err := x.tree.Insert(rects[i], e); err != nil {
+			rollback(i)
+			return err
+		}
+		x.rects[e.ID] = rects[i]
+	}
+	return nil
+}
+
+// searchRectCounted is the shard-side search primitive: one index-space
+// box lookup returning the hits plus the traversal cost, under a single
+// read-lock acquisition.
+func (x *RTree) searchRectCounted(q rtree.Rect) (out []Entry, nodes, leafs int64) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	nodes, leafs = x.tree.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, nodes, leafs
 }
 
 // Remove implements Index.
@@ -343,6 +430,31 @@ func (x *Linear) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMill
 	return out
 }
 
+// InsertBatch implements BatchInserter. All-or-nothing: a duplicate or
+// invalid entry anywhere in the batch leaves the index unchanged.
+func (x *Linear) InsertBatch(entries []Entry) error {
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("index: batch entry %d: %w", i, err)
+		}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	base := len(x.entries)
+	for i, e := range entries {
+		if _, dup := x.byID[e.ID]; dup {
+			for _, added := range x.entries[base:] {
+				delete(x.byID, added.ID)
+			}
+			x.entries = x.entries[:base]
+			return fmt.Errorf("index: duplicate id %d", e.ID)
+		}
+		x.byID[e.ID] = base + i
+		x.entries = append(x.entries, e)
+	}
+	return nil
+}
+
 // Len implements Index.
 func (x *Linear) Len() int {
 	x.mu.RLock()
@@ -350,10 +462,34 @@ func (x *Linear) Len() int {
 	return len(x.entries)
 }
 
+// Entries returns a copy of every stored entry, in unspecified order.
+func (x *Linear) Entries() []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]Entry, len(x.entries))
+	copy(out, x.entries)
+	return out
+}
+
 // Neighbor is a nearest-entry result with its geographic distance.
 type Neighbor struct {
 	Entry          Entry
 	DistanceMeters float64
+}
+
+// nearestParams maps a geographic nearest-neighbour request onto index
+// space: the query point, the per-dimension weights (longitude scaled
+// by cos(latitude), time excluded from the metric), and the squared
+// distance bound in weighted degrees. Shared by every implementation so
+// their rankings agree exactly.
+func nearestParams(center geo.Point, maxDistanceMeters float64) (p, w [rtree.Dims]float64, maxDist2 float64) {
+	p = [rtree.Dims]float64{center.Lng, center.Lat, 0}
+	w = [rtree.Dims]float64{math.Cos(center.Lat * math.Pi / 180), 1, 0}
+	if maxDistanceMeters > 0 {
+		d := maxDistanceMeters / geo.MetersPerDegree
+		maxDist2 = d * d
+	}
+	return p, w, maxDist2
 }
 
 // Nearest returns up to k entries closest to center whose segment
@@ -364,13 +500,7 @@ type Neighbor struct {
 // radius (pass the camera's radius of view: farther entries cannot cover
 // the point anyway).
 func (x *RTree) Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
-	p := [rtree.Dims]float64{center.Lng, center.Lat, 0}
-	w := [rtree.Dims]float64{math.Cos(center.Lat * math.Pi / 180), 1, 0}
-	maxDist2 := 0.0
-	if maxDistanceMeters > 0 {
-		d := maxDistanceMeters / geo.MetersPerDegree
-		maxDist2 = d * d
-	}
+	p, w, maxDist2 := nearestParams(center, maxDistanceMeters)
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	found := x.tree.WeightedNearest(p, w, k, maxDist2, func(r rtree.Rect, e Entry) bool {
@@ -388,3 +518,62 @@ func (x *RTree) Nearest(center geo.Point, startMillis, endMillis int64, k int, m
 	}
 	return out
 }
+
+// Nearest implements NearestSearcher by brute force — the oracle the
+// differential tests rank the tree implementations against. It applies
+// exactly the weighted metric of RTree.Nearest and breaks distance ties
+// by ascending id.
+func (x *Linear) Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	_, w, maxDist2 := nearestParams(center, maxDistanceMeters)
+	type cand struct {
+		e     Entry
+		dist2 float64
+	}
+	x.mu.RLock()
+	cands := make([]cand, 0, len(x.entries))
+	for _, e := range x.entries {
+		if e.Rep.EndMillis < startMillis || e.Rep.StartMillis > endMillis {
+			continue
+		}
+		dLng := (e.Rep.FoV.P.Lng - center.Lng) * w[0]
+		dLat := e.Rep.FoV.P.Lat - center.Lat
+		d2 := dLng*dLng + dLat*dLat
+		if maxDist2 > 0 && d2 > maxDist2 {
+			continue
+		}
+		if keep != nil && !keep(e) {
+			continue
+		}
+		cands = append(cands, cand{e, d2})
+	}
+	x.mu.RUnlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist2 != cands[j].dist2 {
+			return cands[i].dist2 < cands[j].dist2
+		}
+		return cands[i].e.ID < cands[j].e.ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		out[i] = Neighbor{Entry: c.e, DistanceMeters: geo.Distance(c.e.Rep.FoV.P, center)}
+	}
+	return out
+}
+
+// Compile-time interface checks: the server accepts any ServerIndex,
+// and the test oracle must keep up with the Index extensions.
+var (
+	_ ServerIndex     = (*RTree)(nil)
+	_ Index           = (*Linear)(nil)
+	_ ContextSearcher = (*Linear)(nil)
+	_ BatchInserter   = (*Linear)(nil)
+	_ NearestSearcher = (*Linear)(nil)
+	_ Index           = (*Grid)(nil)
+	_ ContextSearcher = (*Grid)(nil)
+)

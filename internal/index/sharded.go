@@ -1,0 +1,680 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fovr/internal/geo"
+	"fovr/internal/obs"
+	"fovr/internal/rtree"
+)
+
+// DefaultShardWindowMillis is one hour — long relative to typical
+// segment durations (seconds to minutes), short enough that a day of
+// data spreads over 24 shards.
+const DefaultShardWindowMillis = 3_600_000
+
+// idStripes is the number of locks striping the id → shard map. Power
+// of two so the stripe index is a mask.
+const idStripes = 64
+
+// ShardedOptions tunes a Sharded index.
+type ShardedOptions struct {
+	// WindowMillis is the time-shard width W. Segments with duration
+	// <= W are sharded by floor(StartMillis/W); longer ones fall back
+	// to the spatial shards. Zero selects DefaultShardWindowMillis.
+	WindowMillis int64
+	// SpatialShards is the size of the spatial-hash fallback set for
+	// segments longer than the window. Zero selects 8.
+	SpatialShards int
+	// Workers bounds the per-query fan-out concurrency. Zero selects
+	// min(GOMAXPROCS, 8).
+	Workers int
+	// Tree tunes each shard's R-tree.
+	Tree rtree.Options
+	// Registry, when non-nil, receives the index's metrics: the
+	// fovr_index_shards gauge, per-shard entry/node gauges
+	// (fovr_index_shard_entries{shard="t42"}), and the
+	// fovr_index_fanout_shards histogram of per-query fan-out widths.
+	Registry *obs.Registry
+}
+
+func (o ShardedOptions) withDefaults() (ShardedOptions, error) {
+	if o.WindowMillis == 0 {
+		o.WindowMillis = DefaultShardWindowMillis
+	}
+	if o.WindowMillis < 1 {
+		return o, fmt.Errorf("index: shard window %d ms must be positive", o.WindowMillis)
+	}
+	if o.SpatialShards == 0 {
+		o.SpatialShards = 8
+	}
+	if o.SpatialShards < 1 || o.SpatialShards > 1024 {
+		return o, fmt.Errorf("index: spatial shard count %d out of [1, 1024]", o.SpatialShards)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.Workers < 1 {
+		return o, fmt.Errorf("index: worker count %d must be positive", o.Workers)
+	}
+	return o, nil
+}
+
+// shard is one partition: a label for metrics plus its own fully
+// concurrent R-tree index (per-shard lock, id map, stats).
+type shard struct {
+	label string // "t<window>" for time shards, "s<cell>" for spatial
+	rt    *RTree
+}
+
+// shardRef is one id's entry in the striped id map. pending marks ids
+// reserved by an in-flight InsertBatch: Remove treats them as absent
+// and Insert as duplicates until the batch commits or rolls back.
+type shardRef struct {
+	s       *shard
+	pending bool
+}
+
+type idStripe struct {
+	mu   sync.Mutex
+	refs map[uint64]shardRef
+}
+
+// Sharded partitions the spatio-temporal index into per-time-window
+// R-tree shards so concurrent uploads stop serializing on one global
+// tree lock.
+//
+// The paper's index (Section V-A) stores each representative FoV as a
+// degenerate 3-D rectangle — zero spatial extent, a short segment along
+// the time axis. That shape makes segment start time a natural
+// partition key: a segment no longer than the shard window W lands
+// entirely within two adjacent windows, so a query over [t_s, t_e]
+// only ever needs the shards for windows floor(t_s/W)-1 .. floor(t_e/W).
+// Segments longer than the window (clock glitches, pathological inputs,
+// deliberately long captures) would break that bound, so they fall back
+// to a small fixed set of spatial-hash shards that every query also
+// visits.
+//
+// Writes lock only the owning shard; InsertBatch groups a whole upload
+// by shard and takes each shard lock once. Queries compute the
+// overlapping shard set and fan out across a bounded worker pool,
+// merging per-shard results in deterministic shard order. Result sets
+// are identical to the single-tree index; rank order out of the query
+// pipeline is byte-identical because the ranker's sort key
+// (distance, id) does not depend on index traversal order.
+//
+// Construct with NewSharded. Safe for concurrent use.
+type Sharded struct {
+	opts   ShardedOptions
+	window int64
+
+	mu         sync.RWMutex
+	timeShards map[int64]*shard
+
+	spatial []*shard // fixed fallback set, created up front
+
+	stripes [idStripes]idStripe
+	count   atomic.Int64
+
+	metered atomic.Bool                   // metrics currently registered
+	fanout  atomic.Pointer[obs.Histogram] // per-query fan-out width
+}
+
+// NewSharded returns an empty sharded index.
+func NewSharded(opts ShardedOptions) (*Sharded, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	x := &Sharded{
+		opts:       o,
+		window:     o.WindowMillis,
+		timeShards: make(map[int64]*shard),
+		spatial:    make([]*shard, o.SpatialShards),
+	}
+	for i := range x.stripes {
+		x.stripes[i].refs = make(map[uint64]shardRef)
+	}
+	for i := range x.spatial {
+		rt, err := NewRTree(o.Tree)
+		if err != nil {
+			return nil, err
+		}
+		x.spatial[i] = &shard{label: fmt.Sprintf("s%d", i), rt: rt}
+	}
+	x.RegisterMetrics()
+	return x, nil
+}
+
+// BulkLoadSharded builds a sharded index from a complete entry set —
+// the snapshot-restore path. Entries are grouped by shard and each
+// shard's tree is loaded with one batch.
+func BulkLoadSharded(opts ShardedOptions, entries []Entry) (*Sharded, error) {
+	x, err := NewSharded(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := x.InsertBatch(entries); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// RegisterMetrics (re-)registers the index's metrics with the
+// configured registry: the fovr_index_shards gauge, the per-shard
+// entry/node gauges, and the fan-out width histogram. NewSharded calls
+// it; a server that unregistered a replaced index's metrics and then
+// failed to build its successor calls it again to restore them. No-op
+// without a registry.
+func (x *Sharded) RegisterMetrics() {
+	reg := x.opts.Registry
+	if reg == nil {
+		return
+	}
+	x.metered.Store(true)
+	reg.GaugeFunc("fovr_index_shards", func() float64 { return float64(x.NumShards()) })
+	x.fanout.Store(reg.HistogramBuckets("fovr_index_fanout_shards",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}))
+	for _, sh := range x.allShards() {
+		x.registerShardMetrics(sh)
+	}
+}
+
+// UnregisterMetrics removes every metric RegisterMetrics installed —
+// called when a server replaces this index, so /metrics stops exposing
+// shards that no longer exist.
+func (x *Sharded) UnregisterMetrics() {
+	reg := x.opts.Registry
+	if reg == nil {
+		return
+	}
+	x.metered.Store(false)
+	reg.Unregister("fovr_index_shards")
+	reg.Unregister("fovr_index_fanout_shards")
+	for _, sh := range x.allShards() {
+		reg.Unregister(fmt.Sprintf("fovr_index_shard_entries{shard=%q}", sh.label))
+		reg.Unregister(fmt.Sprintf("fovr_index_shard_nodes{shard=%q}", sh.label))
+	}
+}
+
+// registerShardMetrics exposes a shard's live entry and node counts.
+// Called outside x.mu: the registry is an independent lock domain.
+func (x *Sharded) registerShardMetrics(sh *shard) {
+	reg := x.opts.Registry
+	if reg == nil || !x.metered.Load() {
+		return
+	}
+	rt := sh.rt
+	reg.GaugeFunc(fmt.Sprintf("fovr_index_shard_entries{shard=%q}", sh.label),
+		func() float64 { return float64(rt.Len()) })
+	reg.GaugeFunc(fmt.Sprintf("fovr_index_shard_nodes{shard=%q}", sh.label),
+		func() float64 { return float64(rt.NodeCount()) })
+}
+
+// WindowMillis returns the configured time-shard width.
+func (x *Sharded) WindowMillis() int64 { return x.window }
+
+// floorDiv is floored (not truncated) integer division, so negative
+// times (pre-epoch captures) map to the correct window.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// spatialCell hashes a position into the fallback shard set (FNV-1a
+// over the coordinate bit patterns).
+func spatialCell(p geo.Point, n int) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range [2]uint64{math.Float64bits(p.Lat), math.Float64bits(p.Lng)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return int(h % uint64(n))
+}
+
+// stripe returns the id's lock stripe.
+func (x *Sharded) stripe(id uint64) *idStripe {
+	return &x.stripes[id&(idStripes-1)]
+}
+
+// shardFor returns (creating if needed) the shard that owns the entry.
+func (x *Sharded) shardFor(e Entry) (*shard, error) {
+	if e.Rep.EndMillis-e.Rep.StartMillis > x.window {
+		return x.spatial[spatialCell(e.Rep.FoV.P, len(x.spatial))], nil
+	}
+	key := floorDiv(e.Rep.StartMillis, x.window)
+	x.mu.RLock()
+	sh := x.timeShards[key]
+	x.mu.RUnlock()
+	if sh != nil {
+		return sh, nil
+	}
+	rt, err := NewRTree(x.opts.Tree)
+	if err != nil {
+		return nil, err
+	}
+	x.mu.Lock()
+	if existing := x.timeShards[key]; existing != nil {
+		x.mu.Unlock()
+		return existing, nil
+	}
+	sh = &shard{label: fmt.Sprintf("t%d", key), rt: rt}
+	x.timeShards[key] = sh
+	x.mu.Unlock()
+	// Registered outside x.mu; exactly one goroutine creates each shard.
+	x.registerShardMetrics(sh)
+	return sh, nil
+}
+
+// Insert implements Index. Only the id stripe and the owning shard are
+// locked; inserts into different shards proceed in parallel.
+func (x *Sharded) Insert(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	sh, err := x.shardFor(e)
+	if err != nil {
+		return err
+	}
+	st := x.stripe(e.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.refs[e.ID]; dup {
+		return fmt.Errorf("index: duplicate id %d", e.ID)
+	}
+	if err := sh.rt.Insert(e); err != nil {
+		return err
+	}
+	st.refs[e.ID] = shardRef{s: sh}
+	x.count.Add(1)
+	return nil
+}
+
+// InsertBatch adds a whole upload all-or-nothing, taking each owning
+// shard's write lock exactly once. Ids are first reserved as pending in
+// the striped id map (so concurrent inserts of the same id fail as
+// duplicates and concurrent removes see "not present"), then grouped by
+// shard and inserted group-at-a-time, then committed.
+func (x *Sharded) InsertBatch(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	shards := make([]*shard, len(entries))
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("index: batch entry %d: %w", i, err)
+		}
+		sh, err := x.shardFor(e)
+		if err != nil {
+			return err
+		}
+		shards[i] = sh
+	}
+
+	// Phase 1: reserve every id.
+	for i, e := range entries {
+		st := x.stripe(e.ID)
+		st.mu.Lock()
+		_, dup := st.refs[e.ID]
+		if !dup {
+			st.refs[e.ID] = shardRef{s: shards[i], pending: true}
+		}
+		st.mu.Unlock()
+		if dup {
+			x.unregister(entries[:i])
+			return fmt.Errorf("index: duplicate id %d", e.ID)
+		}
+	}
+
+	// Phase 2: group by shard, one lock acquisition per shard.
+	order := make([]*shard, 0, 8) // first-appearance order, deterministic
+	groups := make(map[*shard][]Entry, 8)
+	for i, e := range entries {
+		sh := shards[i]
+		if _, seen := groups[sh]; !seen {
+			order = append(order, sh)
+		}
+		groups[sh] = append(groups[sh], e)
+	}
+	for gi, sh := range order {
+		if err := sh.rt.InsertBatch(groups[sh]); err != nil {
+			// Roll back the shards already written, then release every
+			// reservation: the batch is all-or-nothing.
+			for _, done := range order[:gi] {
+				for _, e := range groups[done] {
+					done.rt.Remove(e.ID)
+				}
+			}
+			x.unregister(entries)
+			return err
+		}
+	}
+
+	// Phase 3: commit the reservations.
+	for i, e := range entries {
+		st := x.stripe(e.ID)
+		st.mu.Lock()
+		st.refs[e.ID] = shardRef{s: shards[i]}
+		st.mu.Unlock()
+	}
+	x.count.Add(int64(len(entries)))
+	return nil
+}
+
+// unregister drops the id-map reservations for entries (rollback path).
+func (x *Sharded) unregister(entries []Entry) {
+	for _, e := range entries {
+		st := x.stripe(e.ID)
+		st.mu.Lock()
+		delete(st.refs, e.ID)
+		st.mu.Unlock()
+	}
+}
+
+// Remove implements Index.
+func (x *Sharded) Remove(id uint64) bool {
+	st := x.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ref, ok := st.refs[id]
+	if !ok || ref.pending {
+		return false
+	}
+	if !ref.s.rt.Remove(id) {
+		panic(fmt.Sprintf("index: id %d tracked in shard map but not in shard %s", id, ref.s.label))
+	}
+	delete(st.refs, id)
+	x.count.Add(-1)
+	return true
+}
+
+// Len implements Index.
+func (x *Sharded) Len() int { return int(x.count.Load()) }
+
+// NumShards returns the number of live shards: every instantiated time
+// shard plus each spatial fallback shard currently holding entries.
+func (x *Sharded) NumShards() int {
+	x.mu.RLock()
+	n := len(x.timeShards)
+	x.mu.RUnlock()
+	for _, sp := range x.spatial {
+		if sp.rt.Len() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// shardsFor returns, in deterministic order (ascending window, then the
+// spatial fallbacks), every shard that could hold an entry whose
+// segment intersects [startMillis, endMillis]. A time shard holds
+// segments starting within its window with duration <= window, so only
+// windows floor(start/W)-1 .. floor(end/W) qualify.
+func (x *Sharded) shardsFor(startMillis, endMillis int64) []*shard {
+	lo := floorDiv(startMillis, x.window)
+	if lo > math.MinInt64 {
+		lo--
+	}
+	hi := floorDiv(endMillis, x.window)
+	x.mu.RLock()
+	keys := make([]int64, 0, len(x.timeShards))
+	for k := range x.timeShards {
+		if k >= lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*shard, 0, len(keys)+len(x.spatial))
+	for _, k := range keys {
+		out = append(out, x.timeShards[k])
+	}
+	x.mu.RUnlock()
+	for _, sp := range x.spatial {
+		if sp.rt.Len() > 0 {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// fanOut runs fn(i) for every shard index across a worker pool bounded
+// by the configured Workers. Small fan-outs run inline.
+func (x *Sharded) fanOut(n int, fn func(i int)) {
+	workers := x.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Search implements Index.
+func (x *Sharded) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
+	return x.SearchCtx(context.Background(), r, startMillis, endMillis)
+}
+
+// SearchCtx implements ContextSearcher: the query fans out to every
+// overlapping shard, per-shard results merge in shard order, and the
+// summed traversal cost is recorded into the trace carried by ctx.
+func (x *Sharded) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry {
+	shards := x.shardsFor(startMillis, endMillis)
+	if h := x.fanout.Load(); h != nil {
+		h.Observe(float64(len(shards)))
+	}
+	tr := obs.TraceFrom(ctx)
+	if len(shards) == 0 {
+		tr.AddIndexVisit(0, 0)
+		return nil
+	}
+	q := queryRect(r, startMillis, endMillis)
+	results := make([][]Entry, len(shards))
+	nodes := make([]int64, len(shards))
+	leafs := make([]int64, len(shards))
+	x.fanOut(len(shards), func(i int) {
+		results[i], nodes[i], leafs[i] = shards[i].rt.searchRectCounted(q)
+	})
+	total := 0
+	var nodeSum, leafSum int64
+	for i := range results {
+		total += len(results[i])
+		nodeSum += nodes[i]
+		leafSum += leafs[i]
+	}
+	tr.AddIndexVisit(nodeSum, leafSum)
+	if total == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, total)
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// Nearest implements the k-nearest search of the single-tree index:
+// each overlapping shard answers its own top-k, and the per-shard
+// results merge by the same weighted metric (longitude scaled by
+// cos(latitude), time as a pure filter) with ids breaking ties.
+func (x *Sharded) Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	shards := x.shardsFor(startMillis, endMillis)
+	if len(shards) == 0 {
+		return nil
+	}
+	results := make([][]Neighbor, len(shards))
+	x.fanOut(len(shards), func(i int) {
+		results[i] = shards[i].rt.Nearest(center, startMillis, endMillis, k, maxDistanceMeters, keep)
+	})
+	var merged []Neighbor
+	for _, rs := range results {
+		merged = append(merged, rs...)
+	}
+	_, w, _ := nearestParams(center, maxDistanceMeters)
+	dist2 := func(n Neighbor) float64 {
+		dLng := (n.Entry.Rep.FoV.P.Lng - center.Lng) * w[0]
+		dLat := n.Entry.Rep.FoV.P.Lat - center.Lat
+		return dLng*dLng + dLat*dLat
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		di, dj := dist2(merged[i]), dist2(merged[j])
+		if di != dj {
+			return di < dj
+		}
+		return merged[i].Entry.ID < merged[j].Entry.ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// allShards snapshots every live shard in deterministic order.
+func (x *Sharded) allShards() []*shard {
+	x.mu.RLock()
+	keys := make([]int64, 0, len(x.timeShards))
+	for k := range x.timeShards {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*shard, 0, len(keys)+len(x.spatial))
+	for _, k := range keys {
+		out = append(out, x.timeShards[k])
+	}
+	x.mu.RUnlock()
+	out = append(out, x.spatial...)
+	return out
+}
+
+// Entries returns a copy of every stored entry (snapshot input), shard
+// by shard in deterministic shard order.
+func (x *Sharded) Entries() []Entry {
+	var out []Entry
+	for _, sh := range x.allShards() {
+		out = append(out, sh.rt.Entries()...)
+	}
+	return out
+}
+
+// Height returns the tallest shard tree — the worst-case traversal
+// depth a query can meet.
+func (x *Sharded) Height() int {
+	h := 0
+	for _, sh := range x.allShards() {
+		if sh.rt.Len() == 0 {
+			continue
+		}
+		if sht := sh.rt.Height(); sht > h {
+			h = sht
+		}
+	}
+	return h
+}
+
+// NodeCount sums the shard trees' node counts.
+func (x *Sharded) NodeCount() int {
+	n := 0
+	for _, sh := range x.allShards() {
+		n += sh.rt.NodeCount()
+	}
+	return n
+}
+
+// TreeStats sums the shard trees' lifetime operation counters.
+func (x *Sharded) TreeStats() rtree.Stats {
+	var total rtree.Stats
+	for _, sh := range x.allShards() {
+		st := sh.rt.TreeStats()
+		total.Searches += st.Searches
+		total.NodeVisits += st.NodeVisits
+		total.LeafEntriesScanned += st.LeafEntriesScanned
+		total.Inserts += st.Inserts
+		total.Deletes += st.Deletes
+		total.Reinserts += st.Reinserts
+		total.Splits += st.Splits
+	}
+	return total
+}
+
+// CheckInvariants validates every shard tree plus the cross-shard
+// bookkeeping (tests only; assumes no in-flight batches).
+func (x *Sharded) CheckInvariants() error {
+	total := 0
+	for _, sh := range x.allShards() {
+		if err := sh.rt.CheckInvariants(); err != nil {
+			return fmt.Errorf("index: shard %s: %w", sh.label, err)
+		}
+		total += sh.rt.Len()
+	}
+	refs := 0
+	for i := range x.stripes {
+		st := &x.stripes[i]
+		st.mu.Lock()
+		for id, ref := range st.refs {
+			if ref.pending {
+				st.mu.Unlock()
+				return fmt.Errorf("index: id %d still pending at rest", id)
+			}
+			refs++
+		}
+		st.mu.Unlock()
+	}
+	if c := int(x.count.Load()); total != c || refs != c {
+		return fmt.Errorf("index: shards hold %d entries, id map %d, count %d", total, refs, c)
+	}
+	// Time shards may only hold segments no longer than the window.
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for key, sh := range x.timeShards {
+		for _, e := range sh.rt.Entries() {
+			if e.Rep.EndMillis-e.Rep.StartMillis > x.window {
+				return fmt.Errorf("index: over-long segment %d in time shard %d", e.ID, key)
+			}
+			if floorDiv(e.Rep.StartMillis, x.window) != key {
+				return fmt.Errorf("index: entry %d misfiled in time shard %d", e.ID, key)
+			}
+		}
+	}
+	return nil
+}
+
+var _ ServerIndex = (*Sharded)(nil)

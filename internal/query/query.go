@@ -212,8 +212,9 @@ func SearchCtx(ctx context.Context, idx index.Index, q Query, opts Options) ([]R
 // the window and actually cover the point. It uses the index's
 // branch-and-bound nearest-neighbour search, so no empirical query
 // radius has to be guessed at all — the alternative to step 1's radius
-// table when the area type is unknown.
-func SearchNearest(idx *index.RTree, center geo.Point, startMillis, endMillis int64, k int, opts Options) ([]Ranked, error) {
+// table when the area type is unknown. Any index.NearestSearcher works:
+// the single R-tree, the sharded index, or the linear oracle.
+func SearchNearest(idx index.NearestSearcher, center geo.Point, startMillis, endMillis int64, k int, opts Options) ([]Ranked, error) {
 	if err := opts.Camera.Validate(); err != nil {
 		return nil, err
 	}

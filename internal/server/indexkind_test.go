@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/index"
+	"fovr/internal/obs"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/wire"
+)
+
+var indexKinds = []string{IndexKindRTree, IndexKindSharded}
+
+// newKindServer builds a server on a private registry so per-kind metric
+// assertions cannot bleed between subtests through obs.Default.
+func newKindServer(t *testing.T, kind string) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Camera:      fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100},
+		IndexKind:   kind,
+		ShardWindow: time.Minute,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+func uploadN(t *testing.T, s *Server, provider string, n int) {
+	t.Helper()
+	reps := make([]segment.Representative, n)
+	for i := range reps {
+		start := int64(i) * 90_000 // one upload spans many one-minute shards
+		reps[i] = rep(geo.Offset(center, float64(i*31%360), 30), 180, start, start+5_000)
+	}
+	if _, err := s.Register(wire.Upload{Provider: provider, Reps: reps}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexKindValidation(t *testing.T) {
+	if _, err := New(Config{IndexKind: "btree"}); err == nil {
+		t.Fatal("unknown index kind accepted")
+	}
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Index().(*index.RTree); !ok {
+		t.Fatalf("default index is %T, want *index.RTree", s.Index())
+	}
+	s, _ = newKindServer(t, IndexKindSharded)
+	sh, ok := s.Index().(*index.Sharded)
+	if !ok {
+		t.Fatalf("sharded config built %T", s.Index())
+	}
+	if sh.WindowMillis() != time.Minute.Milliseconds() {
+		t.Fatalf("shard window = %d ms", sh.WindowMillis())
+	}
+}
+
+// TestIndexKindsAnswerIdentically uploads the same data into a server of
+// each kind and requires identical ranked answers — the contract that
+// makes -index a pure performance knob.
+func TestIndexKindsAnswerIdentically(t *testing.T) {
+	q := query.Query{StartMillis: 0, EndMillis: 1 << 40, Center: center, RadiusMeters: 10}
+	var want string
+	for _, kind := range indexKinds {
+		s, _ := newKindServer(t, kind)
+		uploadN(t, s, "alice", 40)
+		results, err := s.Query(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range results {
+			fmt.Fprintf(&b, "%d@%.9f;", r.Entry.ID, r.DistanceMeters)
+		}
+		if kind == indexKinds[0] {
+			want = b.String()
+			if want == "" {
+				t.Fatal("baseline query returned nothing")
+			}
+			continue
+		}
+		if got := b.String(); got != want {
+			t.Fatalf("kind %q ranks differently:\n%s\nvs\n%s", kind, got, want)
+		}
+	}
+}
+
+// TestMetricsTrackActiveIndex is the regression test for the gauge
+// wiring: under every index kind the /metrics gauges must read the
+// currently active index — including after LoadSnapshot swaps the
+// implementation object out from under the closures registered at
+// construction time.
+func TestMetricsTrackActiveIndex(t *testing.T) {
+	for _, kind := range indexKinds {
+		t.Run(kind, func(t *testing.T) {
+			s, reg := newKindServer(t, kind)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			uploadN(t, s, "alice", 25)
+
+			scrape := func() string {
+				t.Helper()
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				b, err := io.ReadAll(resp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(b)
+			}
+
+			out := scrape()
+			if v := promValue(t, out, "fovr_index_entries"); v != 25 {
+				t.Fatalf("fovr_index_entries = %v, want 25", v)
+			}
+			if v := promValue(t, out, "fovr_index_height"); v < 1 {
+				t.Fatalf("fovr_index_height = %v", v)
+			}
+			if v := promValue(t, out, "fovr_rtree_inserts_total"); v != 25 {
+				t.Fatalf("fovr_rtree_inserts_total = %v, want 25", v)
+			}
+			if kind == IndexKindSharded {
+				if v := promValue(t, out, "fovr_index_shards"); v < 2 {
+					t.Fatalf("fovr_index_shards = %v, want several one-minute shards", v)
+				}
+				if !strings.Contains(out, `fovr_index_shard_entries{shard="t0"}`) {
+					t.Fatalf("per-shard gauges missing:\n%s", out)
+				}
+				promValue(t, out, "fovr_index_fanout_shards_count")
+			}
+
+			// Swap the index via the snapshot path: gauges must follow the
+			// replacement, not the construction-time object.
+			var snap bytes.Buffer
+			if err := s.WriteSnapshot(&snap); err != nil {
+				t.Fatal(err)
+			}
+			uploadN(t, s, "bob", 10) // diverge from the snapshot
+			if err := s.LoadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			out = scrape()
+			if v := promValue(t, out, "fovr_index_entries"); v != 25 {
+				t.Fatalf("post-restore fovr_index_entries = %v, want 25", v)
+			}
+			if kind == IndexKindSharded {
+				// The restored index re-registered its shard gauges on the
+				// same registry; totals must reflect only live shards.
+				if v := promValue(t, out, "fovr_index_shards"); v < 2 {
+					t.Fatalf("post-restore fovr_index_shards = %v", v)
+				}
+				var shardSum float64
+				for _, line := range strings.Split(out, "\n") {
+					if strings.HasPrefix(line, "fovr_index_shard_entries{") {
+						var v float64
+						name := line[:strings.LastIndex(line, " ")]
+						v = promValue(t, out, name)
+						shardSum += v
+					}
+				}
+				if shardSum != 25 {
+					t.Fatalf("shard entry gauges sum to %v, want 25:\n%s", shardSum, out)
+				}
+			}
+
+			// The registry still scrapes clean after the swap.
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLoadSnapshotCrossKind writes a snapshot out of one index kind and
+// restores it into a server of each kind: snapshots are index-agnostic
+// entry sets, so both restored servers must hold the same contents and
+// give byte-identical ranked answers. (The source server itself is not a
+// valid oracle here — the snapshot encoding quantizes coordinates to
+// 1e-7 degrees, which legitimately perturbs distances.)
+func TestLoadSnapshotCrossKind(t *testing.T) {
+	src, _ := newKindServer(t, IndexKindRTree)
+	uploadN(t, src, "alice", 30)
+	var snap bytes.Buffer
+	if err := src.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	q := query.Query{StartMillis: 0, EndMillis: 1 << 40, Center: center, RadiusMeters: 10}
+	var want []query.Ranked
+	for _, kind := range indexKinds {
+		dst, _ := newKindServer(t, kind)
+		if err := dst.LoadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Index().Len() != 30 {
+			t.Fatalf("%s restored %d entries, want 30", kind, dst.Index().Len())
+		}
+		if err := dst.Index().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.Query(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == indexKinds[0] {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("restored baseline answers nothing")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s answers %d, baseline %d", kind, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Entry.ID != want[i].Entry.ID || got[i].DistanceMeters != want[i].DistanceMeters {
+				t.Fatalf("rank %d differs across kinds: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+}

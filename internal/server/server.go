@@ -63,8 +63,19 @@ type Config struct {
 	DefaultMaxResults int
 	// MaxUploadBytes bounds request bodies. Zero means 8 MiB.
 	MaxUploadBytes int64
-	// IndexOptions tunes the underlying R-tree.
+	// IndexOptions tunes the underlying R-tree (or each shard's tree
+	// when IndexKind is "sharded").
 	IndexOptions rtree.Options
+	// IndexKind selects the index implementation: "rtree" (one global
+	// 3-D R-tree, the paper's design and the default) or "sharded"
+	// (per-time-window R-tree shards with parallel query fan-out).
+	IndexKind string
+	// ShardWindow is the time-shard width for IndexKind "sharded".
+	// Zero selects the index package default (1 h).
+	ShardWindow time.Duration
+	// ShardWorkers bounds the per-query shard fan-out concurrency for
+	// IndexKind "sharded". Zero selects the index package default.
+	ShardWorkers int
 	// Logger receives structured request-level diagnostics; nil silences
 	// them.
 	Logger *slog.Logger
@@ -102,7 +113,52 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.Default
 	}
+	if c.IndexKind == "" {
+		c.IndexKind = IndexKindRTree
+	}
 	return c
+}
+
+// Index kinds accepted by Config.IndexKind and the fovserver -index
+// flag.
+const (
+	IndexKindRTree   = "rtree"
+	IndexKindSharded = "sharded"
+)
+
+// newIndex builds an empty index of the configured kind.
+func (c Config) newIndex() (index.ServerIndex, error) {
+	switch c.IndexKind {
+	case IndexKindRTree:
+		return index.NewRTree(c.IndexOptions)
+	case IndexKindSharded:
+		return index.NewSharded(c.shardedOptions())
+	default:
+		return nil, fmt.Errorf("server: unknown index kind %q (want %q or %q)",
+			c.IndexKind, IndexKindRTree, IndexKindSharded)
+	}
+}
+
+// loadIndex bulk-builds an index of the configured kind from a
+// complete entry set (snapshot restore).
+func (c Config) loadIndex(entries []index.Entry) (index.ServerIndex, error) {
+	switch c.IndexKind {
+	case IndexKindRTree:
+		return index.BulkLoadRTree(c.IndexOptions, entries)
+	case IndexKindSharded:
+		return index.BulkLoadSharded(c.shardedOptions(), entries)
+	default:
+		return nil, fmt.Errorf("server: unknown index kind %q", c.IndexKind)
+	}
+}
+
+func (c Config) shardedOptions() index.ShardedOptions {
+	return index.ShardedOptions{
+		WindowMillis: c.ShardWindow.Milliseconds(),
+		Workers:      c.ShardWorkers,
+		Tree:         c.IndexOptions,
+		Registry:     c.Registry,
+	}
 }
 
 // Server is the cloud service. Create with New, wire into an http.Server
@@ -111,7 +167,7 @@ type Server struct {
 	cfg     Config
 	reg     *obs.Registry
 	log     *slog.Logger
-	idx     *index.RTree
+	idx     index.ServerIndex
 	subs    *subscriptions
 	traffic wire.TrafficMeter
 	traces  *obs.TraceStore // tail-sampled query traces (/debug/traces)
@@ -136,7 +192,7 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Camera.Validate(); err != nil {
 		return nil, err
 	}
-	idx, err := index.NewRTree(cfg.IndexOptions)
+	idx, err := cfg.newIndex()
 	if err != nil {
 		return nil, err
 	}
@@ -203,14 +259,14 @@ func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler
 
 // index returns the current index under the state lock — LoadSnapshot may
 // replace it, and metric callbacks read from scrape goroutines.
-func (s *Server) index() *index.RTree {
+func (s *Server) index() index.ServerIndex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.idx
 }
 
 // Index exposes the underlying index (benchmarks and tests).
-func (s *Server) Index() *index.RTree { return s.index() }
+func (s *Server) Index() index.ServerIndex { return s.index() }
 
 // Traffic exposes the server-side byte counters. The same totals are
 // exported through the registry as fovr_net_{received,sent}_bytes_total.
@@ -222,9 +278,11 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Register adds an upload directly (the in-process fast path used by
 // simulations that skip HTTP). It returns the assigned segment ids.
 //
-// An upload is all-or-nothing: if any representative fails to index, the
-// already-inserted prefix is rolled back and no subscriber is notified —
-// standing queries only ever see entries from committed uploads.
+// An upload is all-or-nothing: the whole batch goes through the index's
+// InsertBatch, which groups entries by shard and takes each internal
+// lock once, and no subscriber is notified unless every representative
+// committed — standing queries only ever see entries from committed
+// uploads.
 func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 	if u.Provider == "" {
 		return nil, errors.New("server: empty provider")
@@ -241,20 +299,15 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 	s.mu.Unlock()
 	for i, rep := range u.Reps {
 		e := index.Entry{ID: start + uint64(i), Provider: u.Provider, Rep: rep, Camera: u.Camera}
-		if err := idx.Insert(e); err != nil {
-			// Roll back the already-inserted prefix so an upload is
-			// all-or-nothing.
-			for _, id := range ids {
-				idx.Remove(id)
-			}
-			s.mu.Lock()
-			s.byProvider[u.Provider] -= len(u.Reps)
-			s.mu.Unlock()
-			s.rollbacks.Inc()
-			return nil, fmt.Errorf("server: rep %d: %w", i, err)
-		}
 		ids = append(ids, e.ID)
 		entries = append(entries, e)
+	}
+	if err := idx.InsertBatch(entries); err != nil {
+		s.mu.Lock()
+		s.byProvider[u.Provider] -= len(u.Reps)
+		s.mu.Unlock()
+		s.rollbacks.Inc()
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	// Notify standing queries only once the whole upload has committed;
 	// offering entry-by-entry would leak rolled-back entries to
@@ -289,14 +342,29 @@ func (s *Server) QueryCtx(ctx context.Context, q query.Query, maxResults int) ([
 func (s *Server) Traces() *obs.TraceStore { return s.traces }
 
 // LoadSnapshot replaces the server's state with a snapshot (package
-// snapshot format). Intended for startup, before serving traffic.
+// snapshot format), rebuilding an index of the configured kind.
+// Intended for startup, before serving traffic.
 func (s *Server) LoadSnapshot(r io.Reader) error {
-	idx, err := snapshot.Restore(r, s.cfg.IndexOptions)
+	entries, err := snapshot.Read(r)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Drop the replaced index's per-shard gauges first: the restored
+	// index re-registers the names it still uses, and shards that no
+	// longer exist must not linger on /metrics.
+	old, _ := s.idx.(*index.Sharded)
+	if old != nil {
+		old.UnregisterMetrics()
+	}
+	idx, err := s.cfg.loadIndex(entries)
+	if err != nil {
+		if old != nil {
+			old.RegisterMetrics()
+		}
+		return err
+	}
 	s.idx = idx
 	s.byProvider = make(map[string]int)
 	maxID := uint64(0)
