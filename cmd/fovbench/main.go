@@ -114,6 +114,13 @@ func main() {
 			}
 			return figures.TableShardScaling(n, queries)
 		}},
+		{"wal-ingest", func() *figures.Table {
+			n := 20000
+			if *quick {
+				n = 5000
+			}
+			return figures.TableWALIngest(n)
+		}},
 	}
 
 	selected := func(j job) bool {

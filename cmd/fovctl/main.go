@@ -11,6 +11,7 @@
 //	fovctl -server http://127.0.0.1:8477 traces [-id q42]
 //	fovctl -server http://127.0.0.1:8477 watch -lat 40.0013 -lng 116.326 -radius 20 -polls 5
 //	fovctl -server http://127.0.0.1:8477 snapshot -out city.fovs
+//	fovctl -server http://127.0.0.1:8477 checkpoint
 //	fovctl -server http://127.0.0.1:8477 stats
 //
 // explain runs a query with explain=1 and prints the server's execution
@@ -61,6 +62,8 @@ func main() {
 		err = runSnapshot(c, args[1:])
 	case "forget":
 		err = runForget(c, args[1:])
+	case "checkpoint":
+		err = runCheckpoint(c)
 	case "stats":
 		err = runStats(c)
 	default:
@@ -77,7 +80,7 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
   explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
@@ -85,6 +88,7 @@ func usage() {
   watch    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-polls 10] [-interval 2s]
   snapshot -out FILE
   forget   -provider NAME
+  checkpoint
   stats`)
 	os.Exit(2)
 }
@@ -347,6 +351,16 @@ func runSnapshot(c *client.Client, args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d bytes to %s (restore with: fovserver -load %s)\n", n, *out, *out)
+	return nil
+}
+
+func runCheckpoint(c *client.Client) error {
+	resp, err := c.Checkpoint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed %d entries in %.1f ms (WAL truncated)\n",
+		resp.Entries, float64(resp.ElapsedMicros)/1000)
 	return nil
 }
 

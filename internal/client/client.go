@@ -368,6 +368,21 @@ func (c *Client) Unsubscribe(id uint64) error {
 	return nil
 }
 
+// Checkpoint asks the server to persist its full state and truncate
+// the write-ahead log now. It fails when the server runs without a
+// data directory.
+func (c *Client) Checkpoint() (server.CheckpointResponse, error) {
+	respBody, err := c.post("/checkpoint", "text/plain", nil)
+	if err != nil {
+		return server.CheckpointResponse{}, err
+	}
+	var out server.CheckpointResponse
+	if err := json.Unmarshal(respBody, &out); err != nil {
+		return server.CheckpointResponse{}, fmt.Errorf("client: checkpoint response: %w", err)
+	}
+	return out, nil
+}
+
 // Forget asks the server to delete every segment this provider has
 // contributed (the privacy opt-out). It returns the number removed.
 func (c *Client) Forget(provider string) (int, error) {

@@ -29,7 +29,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -51,6 +50,7 @@ import (
 	"fovr/internal/query"
 	"fovr/internal/rtree"
 	"fovr/internal/snapshot"
+	"fovr/internal/store"
 	"fovr/internal/wire"
 )
 
@@ -98,6 +98,13 @@ type Config struct {
 	// TraceCapacity bounds each trace-store retention ring. Zero
 	// selects 256.
 	TraceCapacity int
+	// Store journals every state change (uploads, removals, snapshot
+	// restores) before it is acknowledged, and supplies the recovered
+	// state at boot. Nil selects store.NewMem(), the non-durable no-op
+	// that preserves the server's historical in-memory behavior; pass a
+	// store.Disk (see fovserver -data-dir) for ingest that survives a
+	// process kill.
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IndexKind == "" {
 		c.IndexKind = IndexKindRTree
+	}
+	if c.Store == nil {
+		c.Store = store.NewMem()
 	}
 	return c
 }
@@ -168,6 +178,7 @@ type Server struct {
 	reg     *obs.Registry
 	log     *slog.Logger
 	idx     index.ServerIndex
+	store   store.Store
 	subs    *subscriptions
 	traffic wire.TrafficMeter
 	traces  *obs.TraceStore // tail-sampled query traces (/debug/traces)
@@ -186,13 +197,25 @@ type Server struct {
 	started    time.Time
 }
 
-// New constructs a server, or fails on invalid configuration.
+// New constructs a server, or fails on invalid configuration. When the
+// configured store holds recovered entries (a durable store reopening
+// its data directory), the index is bulk-built from them, so a restart
+// resumes serving the committed state without any snapshot file.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Camera.Validate(); err != nil {
 		return nil, err
 	}
-	idx, err := cfg.newIndex()
+	var (
+		idx index.ServerIndex
+		err error
+	)
+	recovered := cfg.Store.Entries()
+	if len(recovered) > 0 {
+		idx, err = cfg.loadIndex(recovered)
+	} else {
+		idx, err = cfg.newIndex()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -205,10 +228,17 @@ func New(cfg Config) (*Server, error) {
 		reg:        cfg.Registry,
 		log:        logger,
 		idx:        idx,
+		store:      cfg.Store,
 		subs:       newSubscriptions(),
 		nextID:     1,
 		byProvider: make(map[string]int),
 		started:    time.Now(),
+	}
+	for _, e := range recovered {
+		s.byProvider[e.Provider]++
+		if e.ID >= s.nextID {
+			s.nextID = e.ID + 1
+		}
 	}
 	s.traces = obs.NewTraceStore(obs.TraceStoreConfig{
 		Capacity:      cfg.TraceCapacity,
@@ -302,7 +332,25 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 		ids = append(ids, e.ID)
 		entries = append(entries, e)
 	}
+	// Journal before inserting: once the batch is in the index a
+	// concurrent ForgetProvider can observe it and journal a removal,
+	// and that removal must not precede this registration in the log —
+	// replaying them out of order would resurrect forgotten entries.
+	if err := s.store.AppendRegister(entries); err != nil {
+		s.mu.Lock()
+		s.byProvider[u.Provider] -= len(u.Reps)
+		s.mu.Unlock()
+		s.rollbacks.Inc()
+		return nil, fmt.Errorf("server: journal upload: %w", err)
+	}
 	if err := idx.InsertBatch(entries); err != nil {
+		// Compensate the journal entry; replay treats a removal of a
+		// never-inserted id as a no-op, so this is safe even if the
+		// record pair straddles a checkpoint.
+		if serr := s.store.AppendRemove(ids); serr != nil {
+			s.log.Error("journal rollback failed; store may resurrect a rolled-back upload",
+				"provider", u.Provider, "err", serr)
+		}
 		s.mu.Lock()
 		s.byProvider[u.Provider] -= len(u.Reps)
 		s.mu.Unlock()
@@ -365,6 +413,18 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 		}
 		return err
 	}
+	// The restored state replaces the journaled history wholesale; a
+	// durable store checkpoints it immediately so the data directory
+	// reflects the snapshot, not a log of a superseded past.
+	if err := s.store.Reset(entries); err != nil {
+		if swapped, ok := idx.(*index.Sharded); ok {
+			swapped.UnregisterMetrics()
+		}
+		if old != nil {
+			old.RegisterMetrics()
+		}
+		return fmt.Errorf("server: reset store: %w", err)
+	}
 	s.idx = idx
 	s.byProvider = make(map[string]int)
 	maxID := uint64(0)
@@ -394,6 +454,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/matches", s.instrument("/matches", s.handleMatches))
 	mux.HandleFunc("/unsubscribe", s.instrument("/unsubscribe", s.handleUnsubscribe))
 	mux.HandleFunc("/forget", s.instrument("/forget", s.handleForget))
+	mux.HandleFunc("/checkpoint", s.instrument("/checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
@@ -503,19 +564,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// meterWriter counts bytes into the traffic meter as they stream out,
+// so /snapshot can write directly to the ResponseWriter without first
+// materializing the whole snapshot in memory.
+type meterWriter struct {
+	w     io.Writer
+	meter *wire.TrafficMeter
+	n     int64
+}
+
+func (m *meterWriter) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	m.meter.AddSent(n)
+	m.n += int64(n)
+	return n, err
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	var buf bytes.Buffer
-	if err := s.WriteSnapshot(&buf); err != nil {
-		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
-		return
+	mw := &meterWriter{w: w, meter: &s.traffic}
+	if err := s.WriteSnapshot(mw); err != nil {
+		if mw.n == 0 {
+			// Nothing sent yet (validation failure): a proper error
+			// response is still possible.
+			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+		// Mid-stream failure: the status line is gone, so the only
+		// honest move is to cut the connection short — the CRC trailer
+		// lets the client detect the truncation.
+		s.reqLog(r).Error("snapshot stream aborted", "bytesSent", mw.n, "err", err)
 	}
-	s.traffic.AddSent(buf.Len())
-	_, _ = w.Write(buf.Bytes())
 }
 
 // UploadResponse acknowledges an upload.
@@ -710,6 +793,9 @@ type Stats struct {
 	BytesOut      int64          `json:"bytesOut"`
 	Requests      int64          `json:"requests"`
 	UptimeSeconds float64        `json:"uptimeSeconds"`
+	// Durable reports whether ingest is journaled to disk (fovserver
+	// -data-dir) or held only in memory.
+	Durable bool `json:"durable"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -732,6 +818,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BytesOut:      s.traffic.Sent(),
 		Requests:      s.requests.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Durable:       s.store.Durable(),
+	})
+}
+
+// CheckpointResponse acknowledges POST /checkpoint.
+type CheckpointResponse struct {
+	Entries       int   `json:"entries"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+// handleCheckpoint persists the full state and truncates the WAL on
+// demand (fovctl checkpoint) — useful before a planned restart, so boot
+// recovery loads one file instead of replaying the whole log.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	start := time.Now()
+	if err := s.store.Checkpoint(); err != nil {
+		if errors.Is(err, store.ErrNotDurable) {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.reqLog(r).Info("checkpoint", "entries", s.index().Len(), "elapsed", elapsed)
+	s.respondJSON(w, CheckpointResponse{
+		Entries:       s.index().Len(),
+		ElapsedMicros: elapsed.Microseconds(),
 	})
 }
 
@@ -790,6 +908,12 @@ func (s *Server) ForgetProvider(provider string) int {
 	for _, id := range ids {
 		if idx.Remove(id) {
 			removed++
+		}
+	}
+	if len(ids) > 0 {
+		if err := s.store.AppendRemove(ids); err != nil {
+			s.log.Error("journal forget failed; removed entries may resurrect on restart",
+				"provider", provider, "err", err)
 		}
 	}
 	s.mu.Lock()

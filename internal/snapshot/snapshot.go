@@ -41,20 +41,57 @@ const (
 	maxProviderLen = 256
 )
 
-// Write serializes entries to w.
-func Write(w io.Writer, entries []index.Entry) error {
-	if len(entries) > maxEntries {
-		return fmt.Errorf("snapshot: %d entries exceed limit", len(entries))
+// AppendEntry validates e and appends its wire encoding to buf — the
+// per-entry format shared by snapshots and the store's WAL records (see
+// the package comment for the layout).
+func AppendEntry(buf *bytes.Buffer, e index.Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
 	}
-	var buf bytes.Buffer
-	buf.Write(magic[:])
-	buf.WriteByte(version)
+	if len(e.Provider) > maxProviderLen {
+		return fmt.Errorf("snapshot: provider %q too long", e.Provider[:32]+"…")
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
 		buf.Write(tmp[:n])
 	}
-	putUvarint(uint64(len(entries)))
+	putUvarint(e.ID)
+	putUvarint(uint64(len(e.Provider)))
+	buf.WriteString(e.Provider)
+	if e.Camera != (fov.Camera{}) {
+		buf.WriteByte(1)
+		var cb [6]byte
+		binary.LittleEndian.PutUint16(cb[0:], uint16(math.Round(e.Camera.HalfAngleDeg*100)))
+		binary.LittleEndian.PutUint32(cb[2:], uint32(math.Round(e.Camera.RadiusMeters*100)))
+		buf.Write(cb[:])
+	} else {
+		buf.WriteByte(0)
+	}
+	var fixed [10]byte
+	binary.LittleEndian.PutUint32(fixed[0:], uint32(int32(math.Round(e.Rep.FoV.P.Lat*1e7))))
+	binary.LittleEndian.PutUint32(fixed[4:], uint32(int32(math.Round(e.Rep.FoV.P.Lng*1e7))))
+	binary.LittleEndian.PutUint16(fixed[8:], uint16(math.Round(geo.NormalizeDeg(e.Rep.FoV.Theta)*100))%36000)
+	buf.Write(fixed[:])
+	putUvarint(uint64(e.Rep.StartMillis))
+	putUvarint(uint64(e.Rep.EndMillis - e.Rep.StartMillis))
+	return nil
+}
+
+// writeChunk is the flush granularity of the streaming Write: entries
+// accumulate in a small buffer that is flushed to the destination every
+// time it passes this size, so the whole-snapshot O(state) buffer of the
+// original implementation never exists.
+const writeChunk = 32 << 10
+
+// Write serializes entries to w. All entries are validated before the
+// first byte is emitted, so an invalid entry never leaves a partial
+// stream behind; write errors from w can still truncate one mid-stream
+// (the CRC trailer lets the reader detect that).
+func Write(w io.Writer, entries []index.Entry) error {
+	if len(entries) > maxEntries {
+		return fmt.Errorf("snapshot: %d entries exceed limit", len(entries))
+	}
 	for i, e := range entries {
 		if err := e.Validate(); err != nil {
 			return fmt.Errorf("snapshot: entry %d: %w", i, err)
@@ -62,31 +99,34 @@ func Write(w io.Writer, entries []index.Entry) error {
 		if len(e.Provider) > maxProviderLen {
 			return fmt.Errorf("snapshot: entry %d: provider too long", i)
 		}
-		putUvarint(e.ID)
-		putUvarint(uint64(len(e.Provider)))
-		buf.WriteString(e.Provider)
-		if e.Camera != (fov.Camera{}) {
-			buf.WriteByte(1)
-			var cb [6]byte
-			binary.LittleEndian.PutUint16(cb[0:], uint16(math.Round(e.Camera.HalfAngleDeg*100)))
-			binary.LittleEndian.PutUint32(cb[2:], uint32(math.Round(e.Camera.RadiusMeters*100)))
-			buf.Write(cb[:])
-		} else {
-			buf.WriteByte(0)
-		}
-		var fixed [10]byte
-		binary.LittleEndian.PutUint32(fixed[0:], uint32(int32(math.Round(e.Rep.FoV.P.Lat*1e7))))
-		binary.LittleEndian.PutUint32(fixed[4:], uint32(int32(math.Round(e.Rep.FoV.P.Lng*1e7))))
-		binary.LittleEndian.PutUint16(fixed[8:], uint16(math.Round(geo.NormalizeDeg(e.Rep.FoV.Theta)*100))%36000)
-		buf.Write(fixed[:])
-		putUvarint(uint64(e.Rep.StartMillis))
-		putUvarint(uint64(e.Rep.EndMillis - e.Rep.StartMillis))
 	}
-	sum := crc32.ChecksumIEEE(buf.Bytes())
+	h := crc32.NewIEEE()
+	out := io.MultiWriter(w, h)
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(version)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(entries)))
+	buf.Write(tmp[:n])
+	for i, e := range entries {
+		if err := AppendEntry(&buf, e); err != nil {
+			return fmt.Errorf("snapshot: entry %d: %w", i, err)
+		}
+		if buf.Len() >= writeChunk {
+			if _, err := out.Write(buf.Bytes()); err != nil {
+				return err
+			}
+			buf.Reset()
+		}
+	}
+	if buf.Len() > 0 {
+		if _, err := out.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
 	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], sum)
-	buf.Write(crc[:])
-	_, err := w.Write(buf.Bytes())
+	binary.LittleEndian.PutUint32(crc[:], h.Sum32())
+	_, err := w.Write(crc[:])
 	return err
 }
 
@@ -121,71 +161,88 @@ func Read(r io.Reader) ([]index.Entry, error) {
 		return nil, fmt.Errorf("%w: bad entry count", ErrCorrupt)
 	}
 	entries := make([]index.Entry, 0, count)
+	seen := make(map[uint64]struct{}, count)
 	for i := uint64(0); i < count; i++ {
-		id, err := binary.ReadUvarint(rd)
+		e, err := ReadEntry(rd)
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d id", ErrCorrupt, i)
-		}
-		plen, err := binary.ReadUvarint(rd)
-		if err != nil || plen > maxProviderLen {
-			return nil, fmt.Errorf("%w: entry %d provider length", ErrCorrupt, i)
-		}
-		prov := make([]byte, plen)
-		if _, err := io.ReadFull(rd, prov); err != nil {
-			return nil, fmt.Errorf("%w: entry %d provider", ErrCorrupt, i)
-		}
-		flags, err := rd.ReadByte()
-		if err != nil || flags&^byte(1) != 0 {
-			return nil, fmt.Errorf("%w: entry %d flags", ErrCorrupt, i)
-		}
-		var cam fov.Camera
-		if flags&1 != 0 {
-			var cb [6]byte
-			if _, err := io.ReadFull(rd, cb[:]); err != nil {
-				return nil, fmt.Errorf("%w: entry %d camera", ErrCorrupt, i)
-			}
-			cam = fov.Camera{
-				HalfAngleDeg: float64(binary.LittleEndian.Uint16(cb[0:])) / 100,
-				RadiusMeters: float64(binary.LittleEndian.Uint32(cb[2:])) / 100,
-			}
-		}
-		var fixed [10]byte
-		if _, err := io.ReadFull(rd, fixed[:]); err != nil {
-			return nil, fmt.Errorf("%w: entry %d pose", ErrCorrupt, i)
-		}
-		start, err := binary.ReadUvarint(rd)
-		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d start", ErrCorrupt, i)
-		}
-		dur, err := binary.ReadUvarint(rd)
-		if err != nil || start > math.MaxInt64 || dur > math.MaxInt64-start {
-			return nil, fmt.Errorf("%w: entry %d interval", ErrCorrupt, i)
-		}
-		e := index.Entry{
-			ID:       id,
-			Provider: string(prov),
-			Camera:   cam,
-			Rep: segment.Representative{
-				FoV: fov.FoV{
-					P: geo.Point{
-						Lat: float64(int32(binary.LittleEndian.Uint32(fixed[0:]))) / 1e7,
-						Lng: float64(int32(binary.LittleEndian.Uint32(fixed[4:]))) / 1e7,
-					},
-					Theta: float64(binary.LittleEndian.Uint16(fixed[8:])) / 100,
-				},
-				StartMillis: int64(start),
-				EndMillis:   int64(start + dur),
-			},
-		}
-		if err := e.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: entry %d: %v", ErrCorrupt, i, err)
 		}
+		// A duplicate id here would otherwise surface much later, as a
+		// baffling "duplicate id" failure out of the index rebuild.
+		if _, dup := seen[e.ID]; dup {
+			return nil, fmt.Errorf("%w: entry %d: duplicate id %d", ErrCorrupt, i, e.ID)
+		}
+		seen[e.ID] = struct{}{}
 		entries = append(entries, e)
 	}
 	if rd.Len() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, rd.Len())
 	}
 	return entries, nil
+}
+
+// ReadEntry decodes and validates one entry as encoded by AppendEntry.
+func ReadEntry(rd *bytes.Reader) (index.Entry, error) {
+	var zero index.Entry
+	id, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return zero, errors.New("id")
+	}
+	plen, err := binary.ReadUvarint(rd)
+	if err != nil || plen > maxProviderLen {
+		return zero, errors.New("provider length")
+	}
+	prov := make([]byte, plen)
+	if _, err := io.ReadFull(rd, prov); err != nil {
+		return zero, errors.New("provider")
+	}
+	flags, err := rd.ReadByte()
+	if err != nil || flags&^byte(1) != 0 {
+		return zero, errors.New("flags")
+	}
+	var cam fov.Camera
+	if flags&1 != 0 {
+		var cb [6]byte
+		if _, err := io.ReadFull(rd, cb[:]); err != nil {
+			return zero, errors.New("camera")
+		}
+		cam = fov.Camera{
+			HalfAngleDeg: float64(binary.LittleEndian.Uint16(cb[0:])) / 100,
+			RadiusMeters: float64(binary.LittleEndian.Uint32(cb[2:])) / 100,
+		}
+	}
+	var fixed [10]byte
+	if _, err := io.ReadFull(rd, fixed[:]); err != nil {
+		return zero, errors.New("pose")
+	}
+	start, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return zero, errors.New("start")
+	}
+	dur, err := binary.ReadUvarint(rd)
+	if err != nil || start > math.MaxInt64 || dur > math.MaxInt64-start {
+		return zero, errors.New("interval")
+	}
+	e := index.Entry{
+		ID:       id,
+		Provider: string(prov),
+		Camera:   cam,
+		Rep: segment.Representative{
+			FoV: fov.FoV{
+				P: geo.Point{
+					Lat: float64(int32(binary.LittleEndian.Uint32(fixed[0:]))) / 1e7,
+					Lng: float64(int32(binary.LittleEndian.Uint32(fixed[4:]))) / 1e7,
+				},
+				Theta: float64(binary.LittleEndian.Uint16(fixed[8:])) / 100,
+			},
+			StartMillis: int64(start),
+			EndMillis:   int64(start + dur),
+		},
+	}
+	if err := e.Validate(); err != nil {
+		return zero, err
+	}
+	return e, nil
 }
 
 // Restore rebuilds an R-tree index from a snapshot via STR bulk loading.

@@ -44,6 +44,22 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReadRejectsDuplicateIDs(t *testing.T) {
+	entries := workload.Entries(workload.Config{Seed: 3}, 8)
+	entries[5].ID = entries[2].ID
+	var buf bytes.Buffer
+	if err := Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(&buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Read = %v, want ErrCorrupt", err)
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("duplicate id")) {
+		t.Fatalf("error %q does not name the duplicate id", err)
+	}
+}
+
 func TestEmptySnapshot(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, nil); err != nil {

@@ -1,0 +1,716 @@
+// Package store owns the cloud server's entry lifecycle: the committed
+// set of representative FoVs, made durable across process churn.
+// Crowd-sourced uploads are unrepeatable — a phone that contributed a
+// segment is gone — so the paper's server (Section V) ingesting them
+// into RAM only is data loss waiting for a restart. This package puts a
+// write-ahead log and periodic checkpoints under the server's state.
+//
+// Two implementations share the Store interface:
+//
+//   - Mem is the non-durable no-op used when no data directory is
+//     configured; the server then behaves exactly as before this layer
+//     existed.
+//   - Disk journals every state change into an append-only WAL
+//     (length-prefixed, CRC-checksummed records; see wal.go) inside a
+//     data directory, checkpoints the full state periodically in the
+//     internal/snapshot format, and recovers on open by loading the
+//     latest valid checkpoint and replaying the log tail, truncating a
+//     torn final record.
+//
+// Crash-consistency contract (Disk):
+//
+//   - An append that returned nil under FsyncAlways is durable: it
+//     survives SIGKILL and power loss (modulo disk lies about flush).
+//   - Under FsyncInterval the write is in the OS page cache and synced
+//     within FsyncEvery; a kill inside that window may lose the tail.
+//     FsyncNever leaves syncing entirely to the OS.
+//   - Recovery yields a prefix of the append order: a torn final record
+//     is dropped whole, never a partial batch — an upload is visible
+//     after recovery either completely or not at all.
+//   - Checkpoints never gate correctness, only recovery time and disk
+//     usage: the WAL alone reproduces the state. A checkpoint becomes
+//     the recovery base only after its file is fsynced and atomically
+//     renamed into place; log segments are deleted only after that.
+//
+// File layout inside the data directory (NNN = decimal generation):
+//
+//	wal-NNN.log         — log segment; holds ops after checkpoint NNN
+//	checkpoint-NNN.fovs — full state before wal-NNN.log began
+//	checkpoint.tmp      — in-flight checkpoint write (ignored/removed)
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"fovr/internal/index"
+	"fovr/internal/obs"
+	"fovr/internal/snapshot"
+)
+
+// Store is the server's state-change journal. The server routes every
+// mutation through it before acknowledging, and rebuilds its index from
+// Entries at boot.
+type Store interface {
+	// AppendRegister durably records a committed upload batch. The
+	// entries are validated; on error nothing is recorded.
+	AppendRegister(entries []index.Entry) error
+	// AppendRemove durably records the removal of ids.
+	AppendRemove(ids []uint64) error
+	// Entries returns the committed state (recovered plus appended), in
+	// unspecified order. Non-durable stores return nil.
+	Entries() []index.Entry
+	// Reset replaces the committed state wholesale (snapshot restore).
+	Reset(entries []index.Entry) error
+	// Checkpoint persists the full state now and truncates the log.
+	// Non-durable stores return ErrNotDurable.
+	Checkpoint() error
+	// Durable reports whether appends survive a process kill.
+	Durable() bool
+	// Close releases resources; for durable stores it flushes and syncs
+	// the log first. The store is unusable afterwards.
+	Close() error
+}
+
+// ErrNotDurable is returned by operations that need a data directory
+// from a store that has none.
+var ErrNotDurable = errors.New("store: not durable (no data directory configured)")
+
+// ErrClosed is returned by every operation after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Mem is the non-durable store: every operation is a no-op, preserving
+// the server's historical in-memory behavior when no data directory is
+// configured. The server keeps using its index as the source of truth.
+type Mem struct{}
+
+// NewMem returns the non-durable store.
+func NewMem() *Mem { return &Mem{} }
+
+func (*Mem) AppendRegister([]index.Entry) error { return nil }
+func (*Mem) AppendRemove([]uint64) error        { return nil }
+func (*Mem) Entries() []index.Entry             { return nil }
+func (*Mem) Reset([]index.Entry) error          { return nil }
+func (*Mem) Checkpoint() error                  { return ErrNotDurable }
+func (*Mem) Durable() bool                      { return false }
+func (*Mem) Close() error                       { return nil }
+
+// FsyncPolicy selects when WAL appends reach the platter.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged upload is
+	// on disk. The durable default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a timer (Options.FsyncEvery): bounded data
+	// loss, near-memory ingest throughput.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever never syncs explicitly; the OS page cache decides.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy parses the -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("store: unknown fsync policy %q (want %q, %q or %q)",
+		s, FsyncAlways, FsyncInterval, FsyncNever)
+}
+
+// Options configures a Disk store.
+type Options struct {
+	// Dir is the data directory; created if absent. Required.
+	Dir string
+	// Fsync selects the WAL sync policy. Empty means FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period. Zero means 100ms.
+	FsyncEvery time.Duration
+	// CheckpointInterval is the background checkpoint period. Zero
+	// means 5m; negative disables background checkpointing (manual
+	// Checkpoint calls still work).
+	CheckpointInterval time.Duration
+	// Registry receives the store's metrics; nil selects obs.Default.
+	Registry *obs.Registry
+	// Logger receives recovery and checkpoint diagnostics; nil silences
+	// them.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fsync == "" {
+		o.Fsync = FsyncAlways
+	}
+	if o.FsyncEvery == 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 5 * time.Minute
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Disk is the durable store. Construct with Open; safe for concurrent
+// use.
+type Disk struct {
+	opts Options
+	log  *slog.Logger
+
+	mu       sync.Mutex
+	state    map[uint64]index.Entry
+	wal      *os.File
+	walGen   uint64
+	walSize  int64
+	dirty    bool  // unsynced appended bytes (FsyncInterval)
+	appended int64 // records since the last checkpoint
+	failed   error // sticky first write/sync failure
+	closed   bool
+
+	cpMu sync.Mutex // serializes Checkpoint/Reset against each other
+
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	recoveredEntries int
+	recoveryDuration time.Duration
+
+	// metrics
+	recRegister *obs.Counter
+	recRemove   *obs.Counter
+	walBytes    *obs.Counter
+	fsyncHist   *obs.Histogram
+	replayed    *obs.Counter
+	truncated   *obs.Counter
+	checkpoints *obs.Counter
+	cpErrors    *obs.Counter
+	cpHist      *obs.Histogram
+}
+
+func walName(gen uint64) string        { return fmt.Sprintf("wal-%012d.log", gen) }
+func checkpointName(gen uint64) string { return fmt.Sprintf("checkpoint-%012d.fovs", gen) }
+
+// parseGen extracts the generation from a store file name, reporting
+// whether name matches prefix-NNN+suffix.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if len(name) <= len(prefix)+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	var gen uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		gen = gen*10 + uint64(c-'0')
+	}
+	return gen, true
+}
+
+// Open opens (creating if needed) the data directory, recovers the
+// committed state from the latest valid checkpoint plus the WAL tail,
+// and starts the background fsync/checkpoint loops.
+func Open(opts Options) (*Disk, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: empty data directory")
+	}
+	opts = opts.withDefaults()
+	if _, err := ParseFsyncPolicy(string(opts.Fsync)); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{
+		opts:  opts,
+		log:   opts.Logger,
+		state: make(map[uint64]index.Entry),
+		done:  make(chan struct{}),
+	}
+	reg := opts.Registry
+	d.recRegister = reg.Counter(`fovr_wal_records_total{op="register"}`)
+	d.recRemove = reg.Counter(`fovr_wal_records_total{op="remove"}`)
+	d.walBytes = reg.Counter("fovr_wal_bytes_total")
+	d.fsyncHist = reg.Histogram("fovr_wal_fsync_seconds")
+	d.replayed = reg.Counter("fovr_wal_replayed_records_total")
+	d.truncated = reg.Counter("fovr_wal_truncated_tails_total")
+	d.checkpoints = reg.Counter("fovr_store_checkpoints_total")
+	d.cpErrors = reg.Counter("fovr_store_checkpoint_errors_total")
+	d.cpHist = reg.Histogram("fovr_store_checkpoint_seconds")
+
+	start := time.Now()
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	d.recoveryDuration = time.Since(start)
+	d.recoveredEntries = len(d.state)
+	reg.GaugeFunc("fovr_store_recovery_seconds", func() float64 { return d.recoveryDuration.Seconds() })
+	reg.GaugeFunc("fovr_store_recovered_entries", func() float64 { return float64(d.recoveredEntries) })
+	reg.GaugeFunc("fovr_store_entries", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.state))
+	})
+	reg.GaugeFunc("fovr_wal_segment_bytes", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.walSize)
+	})
+	reg.GaugeFunc("fovr_store_generation", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.walGen)
+	})
+	d.log.Info("store recovered",
+		"dir", opts.Dir, "entries", d.recoveredEntries,
+		"generation", d.walGen, "elapsed", d.recoveryDuration)
+
+	if opts.CheckpointInterval > 0 {
+		d.wg.Add(1)
+		go d.checkpointLoop(opts.CheckpointInterval)
+	}
+	if opts.Fsync == FsyncInterval {
+		d.wg.Add(1)
+		go d.fsyncLoop(opts.FsyncEvery)
+	}
+	return d, nil
+}
+
+// RecoveryStats reports what Open found: committed entries recovered
+// and how long recovery took.
+func (d *Disk) RecoveryStats() (entries int, elapsed time.Duration) {
+	return d.recoveredEntries, d.recoveryDuration
+}
+
+// recover loads the latest valid checkpoint, replays every log segment
+// at or above its generation (truncating a torn tail on the newest),
+// and leaves d.wal open for appending.
+func (d *Disk) recover() error {
+	names, err := os.ReadDir(d.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var cpGens, walGens []uint64
+	for _, de := range names {
+		if gen, ok := parseGen(de.Name(), "checkpoint-", ".fovs"); ok {
+			cpGens = append(cpGens, gen)
+		}
+		if gen, ok := parseGen(de.Name(), "wal-", ".log"); ok {
+			walGens = append(walGens, gen)
+		}
+	}
+	// Latest valid checkpoint wins; an unreadable one is logged and
+	// skipped (recovery then starts from an older base, or from the log
+	// alone — best effort, never silent).
+	sort.Slice(cpGens, func(i, j int) bool { return cpGens[i] > cpGens[j] })
+	base := uint64(0)
+	for _, gen := range cpGens {
+		path := filepath.Join(d.opts.Dir, checkpointName(gen))
+		f, err := os.Open(path)
+		if err != nil {
+			d.log.Error("store: checkpoint unreadable", "file", path, "err", err)
+			continue
+		}
+		entries, err := snapshot.Read(f)
+		f.Close()
+		if err != nil {
+			d.log.Error("store: checkpoint corrupt, falling back", "file", path, "err", err)
+			continue
+		}
+		for _, e := range entries {
+			d.state[e.ID] = e
+		}
+		base = gen
+		break
+	}
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+	var lastGen uint64
+	for i, gen := range walGens {
+		if gen < base {
+			continue // superseded by the checkpoint; removed lazily
+		}
+		path := filepath.Join(d.opts.Dir, walName(gen))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		recs, valid, err := DecodeWAL(data)
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", walName(gen), err)
+		}
+		if valid < len(data) {
+			if i != len(walGens)-1 {
+				// Appends only ever tear the newest segment; a short
+				// older one means the directory was damaged.
+				return fmt.Errorf("%w: %s torn at %d with newer segments present",
+					ErrCorrupt, walName(gen), valid)
+			}
+			d.log.Warn("store: truncating torn wal tail",
+				"file", path, "validBytes", valid, "droppedBytes", len(data)-valid)
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return fmt.Errorf("store: truncate torn tail: %w", err)
+			}
+			d.truncated.Inc()
+		}
+		for _, rec := range recs {
+			d.apply(rec)
+		}
+		d.replayed.Add(int64(len(recs)))
+		lastGen, d.walSize = gen, int64(valid)
+	}
+	// Resume appending to the newest segment, or start the first one.
+	gen := base
+	if lastGen > gen {
+		gen = lastGen
+	}
+	if gen == 0 {
+		gen = 1
+	}
+	creating := true
+	if len(walGens) > 0 && walGens[len(walGens)-1] == gen {
+		creating = false
+	}
+	f, err := os.OpenFile(filepath.Join(d.opts.Dir, walName(gen)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if creating {
+		if err := syncDir(d.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	d.wal, d.walGen = f, gen
+	os.Remove(filepath.Join(d.opts.Dir, "checkpoint.tmp"))
+	return nil
+}
+
+// apply folds one replayed record into the state map. Replay is
+// idempotent: a re-registered id overwrites, a missing removal is a
+// no-op — so overlapping checkpoint/log contents can never fail
+// recovery.
+func (d *Disk) apply(rec Record) {
+	switch rec.Op {
+	case opRegister:
+		for _, e := range rec.Entries {
+			d.state[e.ID] = e
+		}
+	case opRemove:
+		for _, id := range rec.IDs {
+			delete(d.state, id)
+		}
+	}
+}
+
+// AppendRegister implements Store.
+func (d *Disk) AppendRegister(entries []index.Entry) error {
+	return d.append(Record{Op: opRegister, Entries: entries})
+}
+
+// AppendRemove implements Store.
+func (d *Disk) AppendRemove(ids []uint64) error {
+	return d.append(Record{Op: opRemove, IDs: ids})
+}
+
+// append journals one record and folds it into the state map. The
+// record hits the page cache before the state map changes, and the
+// state map changes before the append is acknowledged — so a nil
+// return means "recoverable under the configured fsync policy".
+func (d *Disk) append(rec Record) error {
+	var buf bytes.Buffer
+	if err := appendRecord(&buf, rec); err != nil {
+		return err // validation failure: nothing recorded
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.failed != nil {
+		return d.failed
+	}
+	if _, err := d.wal.Write(buf.Bytes()); err != nil {
+		// A short write leaves garbage at the tail; anything appended
+		// after it would be unreachable at recovery. Fail the store
+		// rather than silently journal into the void.
+		d.failed = fmt.Errorf("store: wal append: %w", err)
+		return d.failed
+	}
+	d.walSize += int64(buf.Len())
+	d.walBytes.Add(int64(buf.Len()))
+	d.appended++
+	switch rec.Op {
+	case opRegister:
+		d.recRegister.Inc()
+	case opRemove:
+		d.recRemove.Inc()
+	}
+	switch d.opts.Fsync {
+	case FsyncAlways:
+		if err := d.syncLocked(); err != nil {
+			return err
+		}
+	case FsyncInterval:
+		d.dirty = true
+	}
+	d.apply(rec)
+	return nil
+}
+
+// syncLocked fsyncs the current segment, timing it into the fsync
+// histogram. A sync failure is sticky: the page cache state is unknown
+// afterwards, so no further append may be acknowledged (d.mu held).
+func (d *Disk) syncLocked() error {
+	start := time.Now()
+	if err := d.wal.Sync(); err != nil {
+		d.failed = fmt.Errorf("store: wal fsync: %w", err)
+		return d.failed
+	}
+	d.fsyncHist.Observe(time.Since(start).Seconds())
+	d.dirty = false
+	return nil
+}
+
+// Entries implements Store.
+func (d *Disk) Entries() []index.Entry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]index.Entry, 0, len(d.state))
+	for _, e := range d.state {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the number of committed entries.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.state)
+}
+
+// Durable implements Store.
+func (d *Disk) Durable() bool { return true }
+
+// Checkpoint implements Store: it writes the full current state as a
+// new-generation checkpoint, rotates the log, and deletes superseded
+// files. Ingest is only blocked for the rotation itself, not for the
+// checkpoint write.
+func (d *Disk) Checkpoint() error { return d.checkpointWith(nil, false) }
+
+// Reset implements Store: the state map is replaced wholesale and
+// immediately checkpointed, so the directory reflects the restored
+// state rather than the journal of a history that no longer applies.
+func (d *Disk) Reset(entries []index.Entry) error { return d.checkpointWith(entries, true) }
+
+// checkpointWith is Checkpoint and Reset: optionally replace the state,
+// then capture it, rotate the log, persist the capture, clean up.
+func (d *Disk) checkpointWith(replace []index.Entry, doReplace bool) error {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+
+	start := time.Now()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.failed != nil {
+		d.mu.Unlock()
+		return d.failed
+	}
+	if doReplace {
+		d.state = make(map[uint64]index.Entry, len(replace))
+		for _, e := range replace {
+			d.state[e.ID] = e
+		}
+	}
+	entries := make([]index.Entry, 0, len(d.state))
+	for _, e := range d.state {
+		entries = append(entries, e)
+	}
+	newGen := d.walGen + 1
+	f, err := os.OpenFile(filepath.Join(d.opts.Dir, walName(newGen)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		d.mu.Unlock()
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: rotate wal: %w", err)
+	}
+	old, oldGen := d.wal, d.walGen
+	d.wal, d.walGen, d.walSize, d.dirty, d.appended = f, newGen, 0, false, 0
+	d.mu.Unlock()
+
+	// The old segment is superseded by the checkpoint being written; it
+	// stays on disk (and remains the recovery source) until the new
+	// checkpoint is durable.
+	_ = old.Sync()
+	_ = old.Close()
+	if err := syncDir(d.opts.Dir); err != nil {
+		d.cpErrors.Inc()
+		return err
+	}
+
+	tmp := filepath.Join(d.opts.Dir, "checkpoint.tmp")
+	if err := writeFileSync(tmp, func(w *os.File) error {
+		return snapshot.Write(w, entries)
+	}); err != nil {
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.opts.Dir, checkpointName(newGen))); err != nil {
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: publish checkpoint: %w", err)
+	}
+	if err := syncDir(d.opts.Dir); err != nil {
+		d.cpErrors.Inc()
+		return err
+	}
+
+	// Only now is anything at or below oldGen dead weight.
+	d.removeObsolete(oldGen)
+	d.checkpoints.Inc()
+	d.cpHist.Observe(time.Since(start).Seconds())
+	d.log.Info("store checkpoint",
+		"entries", len(entries), "generation", newGen,
+		"elapsed", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// removeObsolete deletes log segments and checkpoints at or below gen.
+func (d *Disk) removeObsolete(gen uint64) {
+	names, err := os.ReadDir(d.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		if g, ok := parseGen(de.Name(), "wal-", ".log"); ok && g <= gen {
+			os.Remove(filepath.Join(d.opts.Dir, de.Name()))
+		}
+		if g, ok := parseGen(de.Name(), "checkpoint-", ".fovs"); ok && g <= gen {
+			os.Remove(filepath.Join(d.opts.Dir, de.Name()))
+		}
+	}
+}
+
+// checkpointLoop checkpoints every interval, skipping idle periods.
+func (d *Disk) checkpointLoop(interval time.Duration) {
+	defer d.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			idle := d.appended == 0
+			d.mu.Unlock()
+			if idle {
+				continue
+			}
+			if err := d.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+				d.log.Error("store: background checkpoint failed", "err", err)
+			}
+		}
+	}
+}
+
+// fsyncLoop syncs dirty appends every period (FsyncInterval policy).
+func (d *Disk) fsyncLoop(every time.Duration) {
+	defer d.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			if d.dirty && d.failed == nil && !d.closed {
+				if err := d.syncLocked(); err != nil {
+					d.log.Error("store: interval fsync failed", "err", err)
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Close implements Store: stops the background loops, syncs the log,
+// and closes the segment. It does not checkpoint; call Checkpoint first
+// for a fast next boot.
+func (d *Disk) Close() error {
+	d.stopOnce.Do(func() { close(d.done) })
+	d.wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var err error
+	if d.failed == nil && d.opts.Fsync != FsyncNever {
+		err = d.wal.Sync()
+	}
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileSync creates path, fills it via fill, and fsyncs it before
+// closing — the write half of the write-fsync-rename checkpoint dance.
+func writeFileSync(path string, fill func(*os.File) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creations in it are
+// durable. Filesystems that refuse directory fsync are tolerated.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		var perr *fs.PathError
+		if errors.As(err, &perr) {
+			return nil
+		}
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// WAL record framing and codec. A log segment is a flat sequence of
+// length-prefixed, checksummed records:
+//
+//	length u32 LE (payload bytes) | crc32 u32 LE (IEEE, of payload) | payload
+//
+// payload:
+//
+//	op u8 (1 = register, 2 = remove) | count uvarint |
+//	  register: count entries in snapshot.AppendEntry encoding
+//	  remove:   count ids, uvarint each
+//
+// One record is one committed state change — a whole upload batch or a
+// whole removal set — so replay never observes half an upload. The
+// framing is what makes torn writes detectable: a record whose frame
+// runs past end-of-file, or whose full frame is present at end-of-file
+// but fails its checksum (sectors persisted out of order), is a torn
+// tail and recovery truncates it; a checksum failure with further data
+// behind it cannot be a tear and is reported as corruption.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"fovr/internal/index"
+	"fovr/internal/snapshot"
+)
+
+// Record operation codes.
+const (
+	opRegister byte = 1
+	opRemove   byte = 2
+)
+
+// maxRecordBytes bounds a single record's payload: larger length
+// prefixes are garbage (a torn header or rot), never a real record.
+// 64 MiB comfortably holds the largest upload the server accepts.
+const maxRecordBytes = 64 << 20
+
+
+// Record is one decoded WAL record: a registered entry batch or a
+// removed id set.
+type Record struct {
+	Op      byte
+	Entries []index.Entry // Op == opRegister
+	IDs     []uint64      // Op == opRemove
+}
+
+// ErrCorrupt reports WAL content that cannot be explained by a torn
+// final write: a mid-log checksum failure or a checksummed record whose
+// payload does not decode.
+var ErrCorrupt = errors.New("store: wal corrupt")
+
+// appendRecord validates rec and appends its framed encoding to buf.
+func appendRecord(buf *bytes.Buffer, rec Record) error {
+	var payload bytes.Buffer
+	payload.WriteByte(rec.Op)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		payload.Write(tmp[:n])
+	}
+	switch rec.Op {
+	case opRegister:
+		putUvarint(uint64(len(rec.Entries)))
+		for i, e := range rec.Entries {
+			if err := snapshot.AppendEntry(&payload, e); err != nil {
+				return fmt.Errorf("store: record entry %d: %w", i, err)
+			}
+		}
+	case opRemove:
+		putUvarint(uint64(len(rec.IDs)))
+		for _, id := range rec.IDs {
+			putUvarint(id)
+		}
+	default:
+		return fmt.Errorf("store: unknown record op %d", rec.Op)
+	}
+	if payload.Len() > maxRecordBytes {
+		return fmt.Errorf("store: record payload %d bytes exceeds limit", payload.Len())
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+	return nil
+}
+
+// DecodeWAL parses a log segment's bytes. It returns the decoded
+// records and the offset just past the last valid record. valid <
+// len(data) with a nil error means the tail is torn (an incomplete
+// final frame, or a full final frame failing its checksum) — the
+// records are the durable prefix and the caller should truncate the
+// segment to valid. A non-nil error is ErrCorrupt: damage that a torn
+// final write cannot explain.
+func DecodeWAL(data []byte) (recs []Record, valid int, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return recs, off, nil // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:]))
+		if n > maxRecordBytes {
+			return recs, off, nil // garbage length: torn header write
+		}
+		if len(rest) < 8+n {
+			return recs, off, nil // frame runs past EOF: torn payload
+		}
+		payload := rest[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:]) {
+			if off+8+n == len(data) {
+				// Final frame, full length, bad sum: payload sectors
+				// never all reached the disk. Still a torn tail.
+				return recs, off, nil
+			}
+			return recs, off, fmt.Errorf("%w: record at %d fails checksum with %d bytes behind it",
+				ErrCorrupt, off, len(data)-(off+8+n))
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			// The frame checksummed clean, so the payload was written
+			// this way: an incompatible writer or real corruption.
+			return recs, off, fmt.Errorf("%w: record at %d: %v", ErrCorrupt, off, derr)
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs, off, nil
+}
+
+// decodePayload decodes one checksummed record payload.
+func decodePayload(payload []byte) (Record, error) {
+	var rec Record
+	rd := bytes.NewReader(payload)
+	op, err := rd.ReadByte()
+	if err != nil {
+		return rec, errors.New("empty payload")
+	}
+	rec.Op = op
+	// Every item occupies at least one payload byte, so a count beyond
+	// the payload size is garbage — reject it before pre-allocating.
+	count, err := binary.ReadUvarint(rd)
+	if err != nil || count > uint64(len(payload)) {
+		return rec, errors.New("bad item count")
+	}
+	switch op {
+	case opRegister:
+		rec.Entries = make([]index.Entry, 0, count)
+		for i := uint64(0); i < count; i++ {
+			e, err := snapshot.ReadEntry(rd)
+			if err != nil {
+				return rec, fmt.Errorf("entry %d: %v", i, err)
+			}
+			rec.Entries = append(rec.Entries, e)
+		}
+	case opRemove:
+		rec.IDs = make([]uint64, 0, count)
+		for i := uint64(0); i < count; i++ {
+			id, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return rec, fmt.Errorf("id %d", i)
+			}
+			rec.IDs = append(rec.IDs, id)
+		}
+	default:
+		return rec, fmt.Errorf("unknown op %d", op)
+	}
+	if rd.Len() != 0 {
+		return rec, fmt.Errorf("%d trailing payload bytes", rd.Len())
+	}
+	return rec, nil
+}
