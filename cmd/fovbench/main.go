@@ -121,6 +121,13 @@ func main() {
 			}
 			return figures.TableWALIngest(n)
 		}},
+		{"replica-lag", func() *figures.Table {
+			n := 20000
+			if *quick {
+				n = 5000
+			}
+			return figures.TableReplicaLag(n)
+		}},
 	}
 
 	selected := func(j job) bool {

@@ -13,6 +13,7 @@
 //	fovctl -server http://127.0.0.1:8477 snapshot -out city.fovs
 //	fovctl -server http://127.0.0.1:8477 checkpoint
 //	fovctl -server http://127.0.0.1:8477 stats
+//	fovctl -server http://127.0.0.1:8479 replication
 //
 // explain runs a query with explain=1 and prints the server's execution
 // trace: per-stage timings, R-tree traversal counters, and every
@@ -66,6 +67,8 @@ func main() {
 		err = runCheckpoint(c)
 	case "stats":
 		err = runStats(c)
+	case "replication":
+		err = runReplication(c)
 	default:
 		usage()
 	}
@@ -80,7 +83,7 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
   explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
@@ -89,7 +92,8 @@ func usage() {
   snapshot -out FILE
   forget   -provider NAME
   checkpoint
-  stats`)
+  stats
+  replication`)
 	os.Exit(2)
 }
 
@@ -284,6 +288,38 @@ func runStats(c *client.Client) error {
 	}
 	fmt.Printf("segments: %d  providers: %d  index height: %d  bytes in/out: %d/%d  uptime: %.0fs\n",
 		st.Segments, len(st.Providers), st.IndexHeight, st.BytesIn, st.BytesOut, st.UptimeSeconds)
+	return nil
+}
+
+// runReplication prints the replication block of /stats: on a read
+// replica, its cursor, lag, and error counters; on a leader, its role.
+func runReplication(c *client.Client) error {
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if !st.ReadOnly {
+		fmt.Printf("role: leader (writable), %d segments, durable=%v\n", st.Segments, st.Durable)
+		return nil
+	}
+	fmt.Printf("role: read replica of %s\n", st.Leader)
+	r := st.Replication
+	if r == nil {
+		return fmt.Errorf("replication: replica reported no follower status")
+	}
+	fmt.Printf("state: %s  caught up: %v\n", r.State, r.CaughtUp)
+	fmt.Printf("cursor: %s  leader head: %s", r.Cursor, r.Lead)
+	if r.LagBytes >= 0 {
+		fmt.Printf("  lag: %d bytes", r.LagBytes)
+	} else {
+		fmt.Printf("  lag: unknown (behind a generation)")
+	}
+	fmt.Println()
+	fmt.Printf("applied: %d records, %d bytes  bootstraps: %d\n",
+		r.AppliedRecords, r.AppliedBytes, r.Bootstraps)
+	if r.FetchErrors > 0 || r.ApplyErrors > 0 || r.LastError != "" {
+		fmt.Printf("errors: fetch=%d apply=%d last=%q\n", r.FetchErrors, r.ApplyErrors, r.LastError)
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	fovserver [-addr :8477] [-half-angle 30] [-radius 100] [-max-results 20]
 //	          [-index rtree|sharded] [-shard-window 1h] [-shard-workers 0]
 //	          [-data-dir dir] [-fsync always|interval|never] [-checkpoint-interval 5m]
+//	          [-replica-of http://leader:8477] [-replica-poll 10s]
 //	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
 //	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
 //
@@ -19,6 +20,17 @@
 // every 100ms (bounded loss, near-memory throughput); -fsync=never
 // leaves syncing to the OS. Without -data-dir state is in RAM only, as
 // before.
+//
+// -replica-of makes this process a read replica of the leader at the
+// given base URL: it bootstraps from the leader's state, tails the
+// leader's write-ahead log (long-polling every -replica-poll), serves
+// the full read path (/query, /stats, /metrics, /snapshot, traces), and
+// rejects mutations with HTTP 409 naming the leader. A replica that
+// restarts or lags past the leader's log retention re-bootstraps from
+// the latest checkpoint automatically. Combine with -data-dir to make
+// the replica durable, which is also the failover path: restart it
+// without -replica-of and it serves the replicated state as a writable
+// leader.
 //
 // -index selects the spatio-temporal index implementation: "rtree" (one
 // global 3-D R-tree, the paper's design) or "sharded" (per-time-window
@@ -57,7 +69,9 @@ import (
 	"syscall"
 	"time"
 
+	"fovr/internal/client"
 	"fovr/internal/fov"
+	"fovr/internal/replica"
 	"fovr/internal/server"
 	"fovr/internal/store"
 )
@@ -80,7 +94,14 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional second listener with /debug/pprof/ and /metrics (e.g. 127.0.0.1:8478)")
 	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "slow-query threshold for the slow log and trace retention (0 disables)")
 	traceSample := flag.Int("trace-sample", 16, "retain 1 in N ordinary query traces (0 retains none)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8477)")
+	replicaPoll := flag.Duration("replica-poll", 10*time.Second, "long-poll wait per replication fetch with -replica-of")
 	flag.Parse()
+
+	if *replicaOf != "" && *load != "" {
+		fmt.Fprintln(os.Stderr, "fovserver: -replica-of and -load are mutually exclusive: a replica's state comes from the leader")
+		os.Exit(1)
+	}
 
 	var logger *slog.Logger
 	if *logJSON {
@@ -107,6 +128,10 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logger = logger
+	}
+	if *replicaOf != "" {
+		cfg.ReadOnly = true
+		cfg.LeaderURL = *replicaOf
 	}
 	var st *store.Disk
 	if *dataDir != "" {
@@ -154,6 +179,22 @@ func main() {
 		}
 		logger.Info("snapshot restored", "segments", srv.Index().Len(), "file", *load)
 	}
+	var fol *replica.Follower
+	if *replicaOf != "" {
+		fol, err = replica.Start(replica.Options{
+			Fetch:    client.NewReplicator(*replicaOf),
+			Apply:    srv,
+			Poll:     *replicaPoll,
+			Registry: srv.Registry(),
+			Logger:   logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovserver:", err)
+			os.Exit(1)
+		}
+		srv.AttachFollower(fol)
+		logger.Info("replicating", "leader", *replicaOf, "poll", *replicaPoll)
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fovserver:", err)
@@ -161,7 +202,7 @@ func main() {
 	}
 	logger.Info("fovserver listening",
 		"addr", l.Addr().String(), "halfAngleDeg", *halfAngle, "radiusMeters", *radius,
-		"index", *indexKind)
+		"index", *indexKind, "readOnly", *replicaOf != "")
 
 	if *debugAddr != "" {
 		dl, err := net.Listen("tcp", *debugAddr)
@@ -194,6 +235,11 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		_ = httpSrv.Shutdown(ctx)
 		cancel()
+		if fol != nil {
+			// Stop pulling before closing the store so no apply races the
+			// final checkpoint.
+			fol.Close()
+		}
 		if *save != "" {
 			f, err := os.Create(*save)
 			if err != nil {

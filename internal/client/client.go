@@ -148,23 +148,15 @@ func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
 	}
 	sp := uploadSpan.Start()
 	defer sp.End()
-	delay := c.RetryDelay
-	if delay <= 0 {
-		delay = 50 * time.Millisecond
-	}
 	var respBody []byte
-	for attempt := 0; ; attempt++ {
+	err = retryWithBackoff(c.MaxRetries, c.RetryDelay, uploadRetries, func() (bool, error) {
 		var retriable bool
-		respBody, retriable, err = c.postOnce("/upload", "application/octet-stream", body)
-		if err == nil {
-			break
-		}
-		if !retriable || attempt >= c.MaxRetries {
-			return nil, err
-		}
-		uploadRetries.Inc()
-		time.Sleep(delay)
-		delay *= 2
+		var perr error
+		respBody, retriable, perr = c.postOnce("/upload", "application/octet-stream", body)
+		return retriable, perr
+	})
+	if err != nil {
+		return nil, err
 	}
 	var resp server.UploadResponse
 	if err := json.Unmarshal(respBody, &resp); err != nil {
@@ -298,6 +290,29 @@ func (c *Client) postOnce(path, contentType string, body []byte) (respBody []byt
 		return nil, retriable, fmt.Errorf("client: %s: %s: %s", path, resp.Status, bytes.TrimSpace(respBody))
 	}
 	return respBody, false, nil
+}
+
+// retryWithBackoff runs op until it succeeds, fails non-retriably, or
+// exhausts maxRetries retries, sleeping with exponential backoff
+// starting at delay (50 ms when zero). Each retry increments retries.
+// Shared by the upload path and the replication fetcher so both sides
+// of the wire pace transient failures the same way.
+func retryWithBackoff(maxRetries int, delay time.Duration, retries *obs.Counter, op func() (retriable bool, err error)) error {
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		retriable, err := op()
+		if err == nil {
+			return nil
+		}
+		if !retriable || attempt >= maxRetries {
+			return err
+		}
+		retries.Inc()
+		time.Sleep(delay)
+		delay *= 2
+	}
 }
 
 func (c *Client) httpClient() *http.Client {

@@ -1,0 +1,139 @@
+// Replicator is the HTTP fetcher a read replica pulls the leader's log
+// through: one GET /replicate per Fetch, with resumable cursors in the
+// query string and the next cursor handed back in response headers.
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fovr/internal/obs"
+	"fovr/internal/replica"
+	"fovr/internal/snapshot"
+)
+
+var replicaFetchRetries = obs.GetOrCreateCounter("fovr_replica_fetch_retries_total")
+
+// Replicator implements replica.Fetcher over HTTP against a leader's
+// /replicate endpoint.
+type Replicator struct {
+	// BaseURL is the leader root, e.g. "http://127.0.0.1:8477".
+	BaseURL string
+	// HTTPClient must not carry a global timeout: a long-poll legitimately
+	// idles for the full requested wait. Each Fetch bounds itself with a
+	// per-request context instead. Nil selects a fresh default client.
+	HTTPClient *http.Client
+	// MaxRetries bounds automatic retries per Fetch after a transient
+	// failure, with exponential backoff starting at RetryDelay (the same
+	// policy as Client.Upload). Zero disables retries.
+	MaxRetries int
+	// RetryDelay is the initial backoff; zero means 50 ms.
+	RetryDelay time.Duration
+}
+
+// NewReplicator returns a fetcher for the leader at baseURL with the
+// default retry policy.
+func NewReplicator(baseURL string) *Replicator {
+	return &Replicator{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{},
+		MaxRetries: 3,
+		RetryDelay: 100 * time.Millisecond,
+	}
+}
+
+// Fetch performs one replication round-trip: a bootstrap when cur is
+// zero, a log tail otherwise, asking the leader to hold the request up
+// to wait when there is nothing new. The request is bounded by wait plus
+// a grace period so a hung leader cannot pin the follower forever.
+func (r *Replicator) Fetch(ctx context.Context, cur replica.Cursor, wait time.Duration) (*replica.Batch, error) {
+	url := fmt.Sprintf("%s/replicate?gen=%d&off=%d&wait=%s", r.BaseURL, cur.Gen, cur.Off, wait)
+	ctx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
+	defer cancel()
+	var batch *replica.Batch
+	err := retryWithBackoff(r.MaxRetries, r.RetryDelay, replicaFetchRetries, func() (bool, error) {
+		if ctx.Err() != nil {
+			return false, ctx.Err() // canceled: retrying cannot help
+		}
+		var retriable bool
+		var ferr error
+		batch, retriable, ferr = r.fetchOnce(ctx, url)
+		return retriable, ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+func (r *Replicator) fetchOnce(ctx context.Context, url string) (*replica.Batch, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	hc := r.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, !errors.Is(err, context.Canceled), err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		retriable := resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
+		return nil, retriable, fmt.Errorf("client: replicate: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+
+	b := &replica.Batch{
+		Kind:    resp.Header.Get(replica.HeaderStream),
+		StoreID: resp.Header.Get(replica.HeaderStoreID),
+	}
+	b.Next.Gen, _ = strconv.ParseUint(resp.Header.Get(replica.HeaderNextGen), 10, 64)
+	b.Next.Off, _ = strconv.ParseInt(resp.Header.Get(replica.HeaderNextOff), 10, 64)
+	b.Lead.Gen, _ = strconv.ParseUint(resp.Header.Get(replica.HeaderLeadGen), 10, 64)
+	b.Lead.Off, _ = strconv.ParseInt(resp.Header.Get(replica.HeaderLeadOff), 10, 64)
+
+	cr := &countReader{r: resp.Body}
+	defer func() { clientReceivedBytes.Add(cr.n) }()
+	switch b.Kind {
+	case replica.StreamSnapshot:
+		entries, err := snapshot.Read(cr)
+		if err != nil {
+			// A truncated or corrupt snapshot body is detected by its CRC
+			// trailer; the capture can be re-requested.
+			return nil, true, fmt.Errorf("client: replicate snapshot: %w", err)
+		}
+		b.Entries = entries
+	case replica.StreamWAL:
+		frames, err := io.ReadAll(cr)
+		if err != nil {
+			return nil, true, fmt.Errorf("client: replicate wal body: %w", err)
+		}
+		b.Frames = frames
+	default:
+		return nil, false, fmt.Errorf("client: replicate: unknown stream kind %q", b.Kind)
+	}
+	return b, false, nil
+}
+
+// countReader tallies bytes for the client traffic counter.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

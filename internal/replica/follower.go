@@ -1,0 +1,341 @@
+// Follower side of the protocol: a pull loop that fetches batches from
+// the leader and folds them into the local server through the same
+// Store-backed apply path ordinary ingest uses.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"fovr/internal/index"
+	"fovr/internal/obs"
+	"fovr/internal/store"
+)
+
+// Applier is the state sink the follower feeds; *server.Server
+// implements it. ApplyRegister and ApplyRemove mirror one leader WAL
+// record each; ResetState replaces the state wholesale (bootstrap).
+// After a failed apply the state may be inconsistent with the cursor;
+// the follower recovers by re-bootstrapping, never by retrying.
+type Applier interface {
+	ApplyRegister(entries []index.Entry) error
+	ApplyRemove(ids []uint64) error
+	ResetState(entries []index.Entry) error
+}
+
+// Fetcher performs one /replicate round-trip; *client.Replicator
+// implements it over HTTP. wait is the long-poll hold to request.
+type Fetcher interface {
+	Fetch(ctx context.Context, cur Cursor, wait time.Duration) (*Batch, error)
+}
+
+// Options configures a Follower.
+type Options struct {
+	// Fetch pulls batches from the leader. Required.
+	Fetch Fetcher
+	// Apply folds batches into local state. Required.
+	Apply Applier
+	// Poll is the long-poll wait requested per fetch; it also paces the
+	// retry loop after fetch errors. Zero means 10s.
+	Poll time.Duration
+	// Registry receives the fovr_replica_* metrics; nil selects
+	// obs.Default.
+	Registry *obs.Registry
+	// Logger receives replication diagnostics; nil silences them.
+	Logger *slog.Logger
+}
+
+// Status is a snapshot of the follower's replication state, served on
+// the read replica's /stats.
+type Status struct {
+	// State is "bootstrapping" until the first successful batch, then
+	// "streaming".
+	State string `json:"state"`
+	// Cursor is the position up to which the leader's log is applied.
+	Cursor Cursor `json:"cursor"`
+	// Lead is the leader's log head as of the last batch.
+	Lead Cursor `json:"lead"`
+	// LagBytes is Lead.Off-Cursor.Off when both cursors are in the same
+	// generation; -1 when the follower is a generation behind and the
+	// byte distance is unknowable (the leader truncated that log).
+	LagBytes int64 `json:"lagBytes"`
+	// CaughtUp reports whether the last batch left the cursor at the
+	// leader's head.
+	CaughtUp       bool   `json:"caughtUp"`
+	AppliedRecords int64  `json:"appliedRecords"`
+	AppliedBytes   int64  `json:"appliedBytes"`
+	Bootstraps     int64  `json:"bootstraps"`
+	FetchErrors    int64  `json:"fetchErrors"`
+	ApplyErrors    int64  `json:"applyErrors"`
+	LeaderStoreID  string `json:"leaderStoreID,omitempty"`
+	LastError      string `json:"lastError,omitempty"`
+}
+
+// Follower owns the replication pull loop. Create with Start; stop with
+// Close.
+type Follower struct {
+	opts Options
+	log  *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	st      Status
+	changed chan struct{} // closed+replaced on every status update
+
+	applied      *obs.Counter
+	appliedBytes *obs.Counter
+	bootstraps   *obs.Counter
+	fetchErrs    *obs.Counter
+	applyErrs    *obs.Counter
+}
+
+// Start validates opts, registers the replica metrics, and launches the
+// pull loop.
+func Start(opts Options) (*Follower, error) {
+	if opts.Fetch == nil || opts.Apply == nil {
+		return nil, errors.New("replica: Fetch and Apply are required")
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 10 * time.Second
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{
+		opts:    opts,
+		log:     opts.Logger,
+		ctx:     ctx,
+		cancel:  cancel,
+		st:      Status{State: "bootstrapping", LagBytes: -1},
+		changed: make(chan struct{}),
+	}
+	reg := opts.Registry
+	f.applied = reg.Counter("fovr_replica_applied_records_total")
+	f.appliedBytes = reg.Counter("fovr_replica_applied_bytes_total")
+	f.bootstraps = reg.Counter("fovr_replica_bootstraps_total")
+	f.fetchErrs = reg.Counter("fovr_replica_fetch_errors_total")
+	f.applyErrs = reg.Counter("fovr_replica_apply_errors_total")
+	reg.GaugeFunc("fovr_replica_lag_bytes", func() float64 { return float64(f.Status().LagBytes) })
+	reg.GaugeFunc("fovr_replica_caught_up", func() float64 {
+		if f.Status().CaughtUp {
+			return 1
+		}
+		return 0
+	})
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Close stops the pull loop and waits for it to exit. The local state
+// keeps whatever prefix was applied.
+func (f *Follower) Close() {
+	f.cancel()
+	f.wg.Wait()
+}
+
+// Status returns the current replication status.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// WaitCaughtUp blocks until the follower has observed a caught-up state
+// (cursor at the leader's head) or ctx expires. It does not guarantee
+// the follower is still caught up on return — the leader may have
+// appended since — only that the replicated prefix reached the head the
+// leader reported at least once.
+func (f *Follower) WaitCaughtUp(ctx context.Context) error {
+	for {
+		f.mu.Lock()
+		ok := f.st.CaughtUp
+		ch := f.changed
+		f.mu.Unlock()
+		if ok {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-f.ctx.Done():
+			return errors.New("replica: follower closed")
+		}
+	}
+}
+
+// update mutates the status under the lock and wakes WaitCaughtUp.
+func (f *Follower) update(mut func(*Status)) {
+	f.mu.Lock()
+	mut(&f.st)
+	close(f.changed)
+	f.changed = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// run is the pull loop: fetch, apply, advance; bootstrap on anything
+// that breaks the tail.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	errDelay := time.Second
+	for f.ctx.Err() == nil {
+		cur := f.Status().Cursor
+		start := time.Now()
+		b, err := f.opts.Fetch.Fetch(f.ctx, cur, f.opts.Poll)
+		if err != nil {
+			if f.ctx.Err() != nil {
+				return
+			}
+			f.fetchErrs.Inc()
+			f.update(func(st *Status) { st.FetchErrors++; st.LastError = err.Error(); st.CaughtUp = false })
+			f.log.Warn("replica fetch failed", "cursor", cur, "err", err)
+			f.sleep(min(errDelay, f.opts.Poll))
+			errDelay = min(errDelay*2, 30*time.Second)
+			continue
+		}
+		errDelay = time.Second
+		f.handle(cur, b)
+		// Anti-spin floor: a leader that answers an idle poll instantly
+		// (wait unsupported or zero) must not turn the loop into a busy
+		// wait.
+		if b.Kind == StreamWAL && len(b.Frames) == 0 && time.Since(start) < 10*time.Millisecond {
+			f.sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// handle folds one batch into local state and advances the cursor. Any
+// inconsistency — store identity changed, frames that do not decode,
+// an apply failure — zeroes the cursor so the next fetch re-bootstraps.
+func (f *Follower) handle(cur Cursor, b *Batch) {
+	switch b.Kind {
+	case StreamSnapshot:
+		if err := f.opts.Apply.ResetState(b.Entries); err != nil {
+			f.applyErrs.Inc()
+			f.update(func(st *Status) {
+				st.ApplyErrors++
+				st.LastError = fmt.Sprintf("reset: %v", err)
+				st.Cursor = Cursor{}
+				st.CaughtUp = false
+			})
+			f.log.Error("replica bootstrap apply failed", "entries", len(b.Entries), "err", err)
+			f.sleep(f.opts.Poll)
+			return
+		}
+		f.bootstraps.Inc()
+		f.update(func(st *Status) {
+			st.State = "streaming"
+			st.Bootstraps++
+			st.Cursor = b.Next
+			st.LeaderStoreID = b.StoreID
+			st.LastError = ""
+			setLag(st, b)
+		})
+		f.log.Info("replica bootstrapped",
+			"entries", len(b.Entries), "cursor", b.Next, "leaderStore", b.StoreID)
+
+	case StreamWAL:
+		leaderID := f.Status().LeaderStoreID
+		if b.StoreID != "" && leaderID != "" && b.StoreID != leaderID {
+			// Same URL, different data directory: the history this tail
+			// belongs to is gone.
+			f.log.Warn("leader store identity changed; re-bootstrapping",
+				"was", leaderID, "now", b.StoreID)
+			f.update(func(st *Status) { st.Cursor = Cursor{}; st.CaughtUp = false })
+			return
+		}
+		recs, valid, err := store.DecodeWAL(b.Frames)
+		if err != nil || valid != len(b.Frames) {
+			if err == nil {
+				err = fmt.Errorf("short frame tail at %d of %d", valid, len(b.Frames))
+			}
+			f.applyErrs.Inc()
+			f.update(func(st *Status) {
+				st.ApplyErrors++
+				st.LastError = fmt.Sprintf("decode shipped frames: %v", err)
+				st.Cursor = Cursor{}
+				st.CaughtUp = false
+			})
+			f.log.Error("replica stream damaged; re-bootstrapping", "err", err)
+			return
+		}
+		for _, rec := range recs {
+			if err := applyRecord(f.opts.Apply, rec); err != nil {
+				f.applyErrs.Inc()
+				f.update(func(st *Status) {
+					st.ApplyErrors++
+					st.LastError = fmt.Sprintf("apply: %v", err)
+					st.Cursor = Cursor{}
+					st.CaughtUp = false
+				})
+				f.log.Error("replica apply failed; re-bootstrapping", "err", err)
+				return
+			}
+		}
+		f.applied.Add(int64(len(recs)))
+		f.appliedBytes.Add(int64(len(b.Frames)))
+		f.update(func(st *Status) {
+			st.State = "streaming"
+			st.AppliedRecords += int64(len(recs))
+			st.AppliedBytes += int64(len(b.Frames))
+			st.Cursor = b.Next
+			if b.StoreID != "" {
+				st.LeaderStoreID = b.StoreID
+			}
+			st.LastError = ""
+			setLag(st, b)
+		})
+
+	default:
+		f.update(func(st *Status) { st.LastError = fmt.Sprintf("unknown stream kind %q", b.Kind) })
+		f.log.Error("replica batch with unknown kind", "kind", b.Kind)
+		f.sleep(f.opts.Poll)
+	}
+}
+
+// setLag derives lag from the batch's lead cursor (st.Cursor already
+// advanced).
+func setLag(st *Status, b *Batch) {
+	st.Lead = b.Lead
+	switch {
+	case b.Lead.Gen == st.Cursor.Gen:
+		st.LagBytes = b.Lead.Off - st.Cursor.Off
+	default:
+		st.LagBytes = -1
+	}
+	st.CaughtUp = st.LagBytes == 0
+}
+
+// applyRecord dispatches one decoded WAL record to the Applier.
+func applyRecord(a Applier, rec store.Record) error {
+	switch {
+	case len(rec.Entries) > 0:
+		return a.ApplyRegister(rec.Entries)
+	case len(rec.IDs) > 0:
+		return a.ApplyRemove(rec.IDs)
+	}
+	return nil // empty record: nothing to fold
+}
+
+// sleep pauses without outliving Close.
+func (f *Follower) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-f.ctx.Done():
+	}
+}

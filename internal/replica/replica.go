@@ -1,0 +1,90 @@
+// Package replica implements leader-follower replication for the cloud
+// server: WAL shipping, read replicas, and catch-up recovery. The paper
+// (Section V) runs retrieval on one process; the workloads this repo
+// targets are read-heavy — as in POI-detection pipelines over
+// georeferenced FoV streams, query load dwarfs ingest — so one durable
+// ingest leader feeding any number of read-only followers is how the
+// system scales horizontally.
+//
+// The subsystem is a thin protocol over two substrates that already
+// exist: the store's CRC-framed WAL (the shipped bytes are the leader's
+// log frames, verbatim) and the snapshot codec (the bootstrap payload is
+// a checkpoint-format state capture). One HTTP endpoint on the leader
+// carries both:
+//
+//	GET /replicate                 — bootstrap: full state capture
+//	GET /replicate?gen=G&off=O     — log tail from position (G, O)
+//	GET /replicate?...&wait=10s    — long-poll: hold the request until
+//	                                 new records commit (capped at MaxWait)
+//
+// Responses are typed by the X-Fovr-Stream header ("snapshot" or "wal")
+// and always carry the cursor to resume from after applying the body
+// (X-Fovr-Next-Gen/-Off), the leader's live head for lag accounting
+// (X-Fovr-Lead-Gen/-Off), and the leader store's persistent identity
+// (X-Fovr-Store-Id). A follower whose cursor the leader cannot serve —
+// it lagged past a checkpoint's log truncation, the leader's history was
+// replaced, or the follower restarted and asked from scratch — receives
+// a snapshot stream instead of an error: catch-up recovery IS the
+// bootstrap path, there is no separate repair protocol.
+//
+// What a follower guarantees: its state is always some prefix of the
+// leader's append order (bounded staleness, never invented state).
+// Mutations are rejected by the read-only server with ErrReadOnly / HTTP
+// 409 naming the leader. Failover is by restart: start the follower
+// process without -replica-of and it serves its replicated state as a
+// writable leader, with id assignment resuming past every replicated id.
+package replica
+
+import (
+	"fmt"
+
+	"fovr/internal/index"
+)
+
+// Cursor is a replication position: the byte just past the last applied
+// record in the leader's log segment wal-<Gen>.log. The zero Cursor
+// means "no state; bootstrap me".
+type Cursor struct {
+	Gen uint64 `json:"gen"`
+	Off int64  `json:"off"`
+}
+
+// IsZero reports whether the cursor asks for a bootstrap.
+func (c Cursor) IsZero() bool { return c.Gen == 0 }
+
+func (c Cursor) String() string { return fmt.Sprintf("%d/%d", c.Gen, c.Off) }
+
+// Stream kinds carried in the HeaderStream response header.
+const (
+	StreamSnapshot = "snapshot"
+	StreamWAL      = "wal"
+)
+
+// Protocol headers. Every /replicate response carries Stream, StoreID,
+// the Next cursor, and the Lead cursor.
+const (
+	HeaderStream  = "X-Fovr-Stream"
+	HeaderStoreID = "X-Fovr-Store-Id"
+	HeaderNextGen = "X-Fovr-Next-Gen"
+	HeaderNextOff = "X-Fovr-Next-Off"
+	HeaderLeadGen = "X-Fovr-Lead-Gen"
+	HeaderLeadOff = "X-Fovr-Lead-Off"
+)
+
+// Batch is one decoded /replicate response.
+type Batch struct {
+	// Kind is StreamSnapshot or StreamWAL.
+	Kind string
+	// Entries is the full state capture (StreamSnapshot only).
+	Entries []index.Entry
+	// Frames holds verbatim WAL frames (StreamWAL only; may be empty
+	// when the long poll expired with nothing new).
+	Frames []byte
+	// Next is the cursor to resume from after applying this batch.
+	Next Cursor
+	// Lead is the leader's live log head when the batch was served.
+	Lead Cursor
+	// StoreID identifies the leader's data directory; a change mid-tail
+	// means the history was replaced and the follower must re-bootstrap.
+	StoreID string
+}

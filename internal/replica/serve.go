@@ -1,0 +1,132 @@
+// Leader side of the protocol: Serve answers one /replicate request
+// from a LogSource (implemented by *store.Disk).
+package replica
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fovr/internal/index"
+	"fovr/internal/snapshot"
+	"fovr/internal/store"
+)
+
+// LogSource is the leader-side store surface Serve reads from.
+// *store.Disk implements it; a non-durable store cannot lead because it
+// has no log to ship.
+type LogSource interface {
+	// StoreID identifies the data directory across restarts.
+	StoreID() string
+	// LogCursor returns the live log head.
+	LogCursor() (gen uint64, off int64)
+	// CaptureState returns the committed entries and the cursor they
+	// correspond to.
+	CaptureState() (entries []index.Entry, gen uint64, off int64)
+	// ReadLog returns whole committed frames from a position.
+	ReadLog(gen uint64, off int64) ([]byte, store.TailStatus, error)
+	// WaitForLog blocks until the position has news, ctx expires, or the
+	// store closes.
+	WaitForLog(ctx context.Context, gen uint64, off int64) error
+}
+
+// MaxWait caps the client-requested long-poll hold. It must stay under
+// the API server's write timeout (30s), or idle polls would be cut off
+// as slow responses.
+const MaxWait = 25 * time.Second
+
+// ServeResult summarizes one served replication request for the
+// caller's metrics and logs.
+type ServeResult struct {
+	Stream  string // StreamSnapshot or StreamWAL
+	Bytes   int64  // body bytes written
+	Entries int    // snapshot entries (StreamSnapshot only)
+}
+
+// Serve answers one GET /replicate request: a snapshot stream for a
+// bootstrap or unservable cursor, a WAL tail otherwise, long-polling up
+// to the requested wait when the follower is caught up. A mid-stream
+// write failure is returned for logging; the status line is already
+// gone by then, so the cut body is the client's signal (the snapshot
+// CRC trailer and the WAL frame checksums both detect it).
+func Serve(w http.ResponseWriter, r *http.Request, src LogSource) (ServeResult, error) {
+	q := r.URL.Query()
+	gen, _ := strconv.ParseUint(q.Get("gen"), 10, 64)
+	off, _ := strconv.ParseInt(q.Get("off"), 10, 64)
+	wait, _ := time.ParseDuration(q.Get("wait"))
+	if wait > MaxWait {
+		wait = MaxWait
+	}
+	if gen == 0 {
+		return serveSnapshot(w, src)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		data, status, err := src.ReadLog(gen, off)
+		if err != nil {
+			http.Error(w, "replicate: "+err.Error(), http.StatusInternalServerError)
+			return ServeResult{}, err
+		}
+		switch status {
+		case store.TailReset:
+			return serveSnapshot(w, src)
+		case store.TailAdvance:
+			return serveWAL(w, src, nil, Cursor{Gen: gen + 1, Off: 0})
+		}
+		if len(data) == 0 {
+			if remain := time.Until(deadline); remain > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), remain)
+				err := src.WaitForLog(ctx, gen, off)
+				cancel()
+				if err == nil {
+					continue // news arrived; re-read
+				}
+				// Timeout, client gone, or store closed: answer empty.
+			}
+		}
+		return serveWAL(w, src, data, Cursor{Gen: gen, Off: off + int64(len(data))})
+	}
+}
+
+func setCursorHeaders(w http.ResponseWriter, src LogSource, next Cursor) {
+	leadGen, leadOff := src.LogCursor()
+	h := w.Header()
+	h.Set(HeaderStoreID, src.StoreID())
+	h.Set(HeaderNextGen, strconv.FormatUint(next.Gen, 10))
+	h.Set(HeaderNextOff, strconv.FormatInt(next.Off, 10))
+	h.Set(HeaderLeadGen, strconv.FormatUint(leadGen, 10))
+	h.Set(HeaderLeadOff, strconv.FormatInt(leadOff, 10))
+}
+
+func serveWAL(w http.ResponseWriter, src LogSource, data []byte, next Cursor) (ServeResult, error) {
+	w.Header().Set(HeaderStream, StreamWAL)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	setCursorHeaders(w, src, next)
+	n, err := w.Write(data)
+	return ServeResult{Stream: StreamWAL, Bytes: int64(n)}, err
+}
+
+// countWriter tallies body bytes so ServeResult can report how much a
+// snapshot stream shipped even when snapshot.Write fails mid-stream.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func serveSnapshot(w http.ResponseWriter, src LogSource) (ServeResult, error) {
+	entries, gen, off := src.CaptureState()
+	w.Header().Set(HeaderStream, StreamSnapshot)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	setCursorHeaders(w, src, Cursor{Gen: gen, Off: off})
+	cw := &countWriter{w: w}
+	err := snapshot.Write(cw, entries)
+	return ServeResult{Stream: StreamSnapshot, Bytes: cw.n, Entries: len(entries)}, err
+}

@@ -100,7 +100,7 @@ func TestDurableRegisterSurvivesKill(t *testing.T) {
 			}}); err != nil {
 				t.Fatal(err)
 			}
-			if removed := s1.ForgetProvider("mallory"); removed != 1 {
+			if removed, _ := s1.ForgetProvider("mallory"); removed != 1 {
 				t.Fatalf("forgot %d segments, want 1", removed)
 			}
 

@@ -1,0 +1,176 @@
+// Replication endpoints and apply paths: the leader side serves
+// /replicate from its durable store's log; the follower side is the
+// replica.Applier implementation that folds shipped records into the
+// same index/journal state ordinary ingest feeds.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"fovr/internal/index"
+	"fovr/internal/replica"
+)
+
+// ErrReadOnly marks mutations rejected by a read replica. Handlers map
+// it to HTTP 409 with an ErrorResponse naming the leader to write to.
+var ErrReadOnly = errors.New("server is a read-only replica")
+
+// ErrorResponse is the JSON error body. Leader is set when the error is
+// ErrReadOnly, pointing the client at the process that accepts writes.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Leader string `json:"leader,omitempty"`
+}
+
+// respondError writes a JSON error body. ErrReadOnly is annotated with
+// the leader URL so a client holding a replica address can redirect its
+// writes without out-of-band configuration.
+func (s *Server) respondError(w http.ResponseWriter, code int, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	if errors.Is(err, ErrReadOnly) {
+		resp.Leader = s.cfg.LeaderURL
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, merr := json.Marshal(resp)
+	if merr != nil {
+		return
+	}
+	s.traffic.AddSent(len(data))
+	_, _ = w.Write(data)
+}
+
+// readOnlyErr wraps ErrReadOnly with the operation being refused.
+func (s *Server) readOnlyErr(op string) error {
+	return fmt.Errorf("server: %s refused: %w (leader: %s)", op, ErrReadOnly, s.cfg.LeaderURL)
+}
+
+// handleReplicate serves the replication protocol (package replica) from
+// the durable store's log. Only a durable leader can serve it: a Mem
+// store has no log to ship, and a read replica must not be chained from.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	src, ok := s.store.(replica.LogSource)
+	if !ok {
+		httpError(w, http.StatusConflict, "replication requires a durable leader (-data-dir)")
+		return
+	}
+	if s.cfg.ReadOnly {
+		s.respondError(w, http.StatusConflict, s.readOnlyErr("replicate"))
+		return
+	}
+	res, err := replica.Serve(w, r, src)
+	s.reg.Counter(fmt.Sprintf("fovr_replica_serve_total{stream=%q}", res.Stream)).Inc()
+	s.reg.Counter("fovr_replica_shipped_bytes_total").Add(res.Bytes)
+	s.traffic.AddSent(int(res.Bytes))
+	if err != nil {
+		s.reqLog(r).Error("replicate stream aborted", "stream", res.Stream, "bytesSent", res.Bytes, "err", err)
+		return
+	}
+	s.reqLog(r).Info("replicate", "stream", res.Stream, "bytes", res.Bytes, "entries", res.Entries)
+}
+
+// ApplyRegister folds one shipped registration record into local state:
+// journal first (a durable follower re-persists the records it applies,
+// so failover-by-restart serves them without the leader), then index,
+// then standing queries — the same order, and the same invariants, as
+// Register. IDs arrive pre-assigned by the leader; nextID only ratchets
+// past them so a follower promoted to leader never reuses one.
+//
+// There is no compensating removal on insert failure: the follower's
+// recovery from a half-applied record is a re-bootstrap, which replaces
+// the state wholesale.
+func (s *Server) ApplyRegister(entries []index.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if err := s.store.AppendRegister(entries); err != nil {
+		return fmt.Errorf("server: journal replicated upload: %w", err)
+	}
+	s.mu.Lock()
+	for _, e := range entries {
+		s.byProvider[e.Provider]++
+		if e.ID >= s.nextID {
+			s.nextID = e.ID + 1
+		}
+	}
+	idx := s.idx
+	s.mu.Unlock()
+	if err := idx.InsertBatch(entries); err != nil {
+		s.mu.Lock()
+		for _, e := range entries {
+			s.byProvider[e.Provider]--
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("server: apply replicated upload: %w", err)
+	}
+	for _, e := range entries {
+		s.subs.offer(s.cfg.Camera, e)
+	}
+	return nil
+}
+
+// ApplyRemove folds one shipped removal record into local state. Ids
+// unknown locally are skipped without error: the leader journals
+// compensating removals for uploads that never reached its index, and a
+// replay may also straddle a checkpoint that already dropped them.
+func (s *Server) ApplyRemove(ids []uint64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	if err := s.store.AppendRemove(ids); err != nil {
+		return fmt.Errorf("server: journal replicated removal: %w", err)
+	}
+	idx := s.index()
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	owners := make(map[uint64]string, len(ids))
+	for _, e := range idx.Entries() {
+		if want[e.ID] {
+			owners[e.ID] = e.Provider
+		}
+	}
+	for _, id := range ids {
+		if !idx.Remove(id) {
+			continue
+		}
+		s.mu.Lock()
+		if p, ok := owners[id]; ok {
+			if s.byProvider[p] <= 1 {
+				delete(s.byProvider, p)
+			} else {
+				s.byProvider[p]--
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// AttachFollower exposes a running replication follower's status on
+// /stats (fovserver wires this when started with -replica-of).
+func (s *Server) AttachFollower(f *replica.Follower) {
+	s.mu.Lock()
+	s.follower = f
+	s.mu.Unlock()
+}
+
+// replicationStatus returns the attached follower's status, or nil.
+func (s *Server) replicationStatus() *replica.Status {
+	s.mu.Lock()
+	f := s.follower
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	st := f.Status()
+	return &st
+}

@@ -48,6 +48,7 @@ import (
 	"fovr/internal/index"
 	"fovr/internal/obs"
 	"fovr/internal/query"
+	"fovr/internal/replica"
 	"fovr/internal/rtree"
 	"fovr/internal/snapshot"
 	"fovr/internal/store"
@@ -105,6 +106,14 @@ type Config struct {
 	// store.Disk (see fovserver -data-dir) for ingest that survives a
 	// process kill.
 	Store store.Store
+	// ReadOnly makes the server a read replica: Register, ForgetProvider,
+	// and LoadSnapshot fail with ErrReadOnly (HTTP 409 naming LeaderURL),
+	// while the Apply* paths driven by the replication follower remain
+	// open. Set by fovserver -replica-of.
+	ReadOnly bool
+	// LeaderURL names the writable leader in read-only rejections and on
+	// /stats.
+	LeaderURL string
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +204,7 @@ type Server struct {
 	nextID     uint64
 	byProvider map[string]int
 	started    time.Time
+	follower   *replica.Follower // replication status source (read replicas)
 }
 
 // New constructs a server, or fails on invalid configuration. When the
@@ -314,6 +324,9 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // committed — standing queries only ever see entries from committed
 // uploads.
 func (s *Server) Register(u wire.Upload) ([]uint64, error) {
+	if s.cfg.ReadOnly {
+		return nil, s.readOnlyErr("upload")
+	}
 	if u.Provider == "" {
 		return nil, errors.New("server: empty provider")
 	}
@@ -393,10 +406,23 @@ func (s *Server) Traces() *obs.TraceStore { return s.traces }
 // snapshot format), rebuilding an index of the configured kind.
 // Intended for startup, before serving traffic.
 func (s *Server) LoadSnapshot(r io.Reader) error {
+	if s.cfg.ReadOnly {
+		return s.readOnlyErr("snapshot restore")
+	}
 	entries, err := snapshot.Read(r)
 	if err != nil {
 		return err
 	}
+	return s.ResetState(entries)
+}
+
+// ResetState replaces the server's state wholesale with the given
+// entries, rebuilding an index of the configured kind and resetting the
+// journal to match. It is the bootstrap path of the replication follower
+// (replica.Applier) and the body of LoadSnapshot; unlike the public
+// mutators it stays open on a read-only server, because shipped state is
+// the one thing a replica is allowed to write.
+func (s *Server) ResetState(entries []index.Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Drop the replaced index's per-shard gauges first: the restored
@@ -455,6 +481,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/unsubscribe", s.instrument("/unsubscribe", s.handleUnsubscribe))
 	mux.HandleFunc("/forget", s.instrument("/forget", s.handleForget))
 	mux.HandleFunc("/checkpoint", s.instrument("/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("/replicate", s.instrument("/replicate", s.handleReplicate))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
@@ -639,6 +666,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.Register(u)
 	if err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			s.respondError(w, http.StatusConflict, err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -796,6 +827,13 @@ type Stats struct {
 	// Durable reports whether ingest is journaled to disk (fovserver
 	// -data-dir) or held only in memory.
 	Durable bool `json:"durable"`
+	// ReadOnly reports whether this process is a read replica
+	// (fovserver -replica-of); Leader then names the writable leader.
+	ReadOnly bool   `json:"readOnly,omitempty"`
+	Leader   string `json:"leader,omitempty"`
+	// Replication is the follower's live status (cursor, lag, error
+	// counters); only present on a read replica.
+	Replication *replica.Status `json:"replication,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -819,6 +857,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Durable:       s.store.Durable(),
+		ReadOnly:      s.cfg.ReadOnly,
+		Leader:        s.cfg.LeaderURL,
+		Replication:   s.replicationStatus(),
 	})
 }
 
@@ -896,7 +937,10 @@ func (s *Server) ListenAndServe(addr string) error {
 // ForgetProvider removes every segment a provider has contributed — the
 // opt-out the paper's privacy motivation implies a deployment must offer.
 // It returns the number of segments removed.
-func (s *Server) ForgetProvider(provider string) int {
+func (s *Server) ForgetProvider(provider string) (int, error) {
+	if s.cfg.ReadOnly {
+		return 0, s.readOnlyErr("forget")
+	}
 	idx := s.index()
 	var ids []uint64
 	for _, e := range idx.Entries() {
@@ -919,7 +963,7 @@ func (s *Server) ForgetProvider(provider string) int {
 	s.mu.Lock()
 	delete(s.byProvider, provider)
 	s.mu.Unlock()
-	return removed
+	return removed, nil
 }
 
 func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
@@ -932,7 +976,15 @@ func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "provider required")
 		return
 	}
-	removed := s.ForgetProvider(provider)
+	removed, err := s.ForgetProvider(provider)
+	if err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			s.respondError(w, http.StatusConflict, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	s.reqLog(r).Info("forget", "provider", provider, "removed", removed)
 	s.respondJSON(w, map[string]int{"removed": removed})
 }

@@ -379,7 +379,7 @@ func TestForgetProvider(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if removed := s.ForgetProvider("gone"); removed != 2 {
+	if removed, _ := s.ForgetProvider("gone"); removed != 2 {
 		t.Fatalf("removed %d, want 2", removed)
 	}
 	if s.Index().Len() != 2 {
@@ -390,7 +390,7 @@ func TestForgetProvider(t *testing.T) {
 			t.Fatal("forgotten provider still indexed")
 		}
 	}
-	if removed := s.ForgetProvider("gone"); removed != 0 {
+	if removed, _ := s.ForgetProvider("gone"); removed != 0 {
 		t.Fatalf("double forget removed %d", removed)
 	}
 	if err := s.Index().CheckInvariants(); err != nil {

@@ -37,6 +37,7 @@
 //	wal-NNN.log         — log segment; holds ops after checkpoint NNN
 //	checkpoint-NNN.fovs — full state before wal-NNN.log began
 //	checkpoint.tmp      — in-flight checkpoint write (ignored/removed)
+//	storeid             — persistent random identity (replication; tail.go)
 package store
 
 import (
@@ -169,8 +170,9 @@ func (o Options) withDefaults() Options {
 // Disk is the durable store. Construct with Open; safe for concurrent
 // use.
 type Disk struct {
-	opts Options
-	log  *slog.Logger
+	opts    Options
+	log     *slog.Logger
+	storeID string // persisted random identity of this data directory
 
 	mu       sync.Mutex
 	state    map[uint64]index.Entry
@@ -181,6 +183,8 @@ type Disk struct {
 	appended int64 // records since the last checkpoint
 	failed   error // sticky first write/sync failure
 	closed   bool
+	notifyCh chan struct{}     // closed+replaced on append/rotation (log tailing)
+	retired  map[uint64]int64  // final sizes of completed generations (see tail.go)
 
 	cpMu sync.Mutex // serializes Checkpoint/Reset against each other
 
@@ -239,11 +243,18 @@ func Open(opts Options) (*Disk, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &Disk{
-		opts:  opts,
-		log:   opts.Logger,
-		state: make(map[uint64]index.Entry),
-		done:  make(chan struct{}),
+		opts:     opts,
+		log:      opts.Logger,
+		state:    make(map[uint64]index.Entry),
+		done:     make(chan struct{}),
+		notifyCh: make(chan struct{}),
+		retired:  make(map[uint64]int64),
 	}
+	id, err := loadStoreID(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d.storeID = id
 	reg := opts.Registry
 	d.recRegister = reg.Counter(`fovr_wal_records_total{op="register"}`)
 	d.recRemove = reg.Counter(`fovr_wal_records_total{op="remove"}`)
@@ -274,6 +285,20 @@ func Open(opts Options) (*Disk, error) {
 		return float64(d.walSize)
 	})
 	reg.GaugeFunc("fovr_store_generation", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.walGen)
+	})
+	// Replication monitoring names: the same size/generation pair under
+	// the fovr_wal_* prefix, so leader and follower lag can be compared
+	// from /metrics on both sides without knowing the store-internal
+	// names above.
+	reg.GaugeFunc("fovr_wal_size_bytes", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.walSize)
+	})
+	reg.GaugeFunc("fovr_wal_generation", func() float64 {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		return float64(d.walGen)
@@ -373,6 +398,7 @@ func (d *Disk) recover() error {
 			d.apply(rec)
 		}
 		d.replayed.Add(int64(len(recs)))
+		d.retired[gen] = int64(valid)
 		lastGen, d.walSize = gen, int64(valid)
 	}
 	// Resume appending to the newest segment, or start the first one.
@@ -399,6 +425,8 @@ func (d *Disk) recover() error {
 		}
 	}
 	d.wal, d.walGen = f, gen
+	// The resumed segment is live, not retired: its size still grows.
+	delete(d.retired, gen)
 	os.Remove(filepath.Join(d.opts.Dir, "checkpoint.tmp"))
 	return nil
 }
@@ -472,7 +500,16 @@ func (d *Disk) append(rec Record) error {
 		d.dirty = true
 	}
 	d.apply(rec)
+	d.notifyLocked()
 	return nil
+}
+
+// notifyLocked wakes every WaitForLog tailer (d.mu held): the broadcast
+// channel is closed and replaced, so a waiter that misses this edge
+// re-checks the cursor against fresh state on its next loop.
+func (d *Disk) notifyLocked() {
+	close(d.notifyCh)
+	d.notifyCh = make(chan struct{})
 }
 
 // syncLocked fsyncs the current segment, timing it into the fsync
@@ -556,7 +593,23 @@ func (d *Disk) checkpointWith(replace []index.Entry, doReplace bool) error {
 		return fmt.Errorf("store: rotate wal: %w", err)
 	}
 	old, oldGen := d.wal, d.walGen
+	oldSize := d.walSize
 	d.wal, d.walGen, d.walSize, d.dirty, d.appended = f, newGen, 0, false, 0
+	if doReplace {
+		// A reset breaks log continuity: the state at the start of newGen
+		// is the replacement, not the state after oldGen's records, so no
+		// cursor from the old history may silently advance across it — a
+		// tailer of the old generation must re-bootstrap.
+		d.retired = make(map[uint64]int64)
+	} else {
+		d.retired[oldGen] = oldSize
+		for g := range d.retired {
+			if g+retiredKeep <= newGen {
+				delete(d.retired, g)
+			}
+		}
+	}
+	d.notifyLocked()
 	d.mu.Unlock()
 
 	// The old segment is superseded by the checkpoint being written; it

@@ -35,6 +35,19 @@ const (
 	opRemove   byte = 2
 )
 
+// Exported record op codes, for callers that synthesize or inspect WAL
+// frames outside this package (replication tests and tooling).
+const (
+	OpRegister = opRegister
+	OpRemove   = opRemove
+)
+
+// AppendWALRecord validates rec and appends its framed encoding to buf
+// — the exact bytes a leader ships to its replicas.
+func AppendWALRecord(buf *bytes.Buffer, rec Record) error {
+	return appendRecord(buf, rec)
+}
+
 // maxRecordBytes bounds a single record's payload: larger length
 // prefixes are garbage (a torn header or rot), never a real record.
 // 64 MiB comfortably holds the largest upload the server accepts.
