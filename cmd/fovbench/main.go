@@ -106,6 +106,13 @@ func main() {
 		{"ablation-measurement", func() *figures.Table { return figures.TableMeasurements(2000) }},
 		{"ablation-noise", figures.TableAblationNoise},
 		{"trace-overhead", func() *figures.Table { return figures.TableTraceOverhead(sizes[len(sizes)-1], queries) }},
+		{"ops-overhead", func() *figures.Table {
+			n := 20000
+			if *quick {
+				n = 5000
+			}
+			return figures.TableOpsOverhead(n, queries)
+		}},
 		{"heterogeneous", func() *figures.Table { return figures.TableHeterogeneous(60) }},
 		{"shard-scaling", func() *figures.Table {
 			n := 20000

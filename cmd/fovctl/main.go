@@ -14,6 +14,8 @@
 //	fovctl -server http://127.0.0.1:8477 checkpoint
 //	fovctl -server http://127.0.0.1:8477 stats
 //	fovctl -server http://127.0.0.1:8479 replication
+//	fovctl -server http://127.0.0.1:8477 top -interval 2s
+//	fovctl -server http://127.0.0.1:8477 health
 //
 // explain runs a query with explain=1 and prints the server's execution
 // trace: per-stage timings, R-tree traversal counters, and every
@@ -69,6 +71,10 @@ func main() {
 		err = runStats(c)
 	case "replication":
 		err = runReplication(c)
+	case "top":
+		err = runTop(c, args[1:])
+	case "health":
+		err = runHealth(c)
 	default:
 		usage()
 	}
@@ -83,7 +89,7 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|top|health> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
   explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
@@ -93,7 +99,9 @@ func usage() {
   forget   -provider NAME
   checkpoint
   stats
-  replication`)
+  replication
+  top      [-interval 2s] [-n 0] [-plain]   live ops dashboard over /debug/history
+  health   evaluated component health from /healthz`)
 	os.Exit(2)
 }
 
@@ -144,12 +152,14 @@ func runCapture(c *client.Client, args []string) error {
 		return err
 	}
 	upload := sess.Stop()
-	ids, err := c.Upload(upload)
+	ids, traceID, err := c.UploadTraced(upload, "")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("captured %d frames -> %d segments, uploaded %d bytes, ids %v\n",
 		len(samples), len(upload.Reps), c.Traffic.Sent(), ids)
+	fmt.Printf("trace %s (follow it: fovctl traces -id %s, on followers too once replicated)\n",
+		traceID, traceID)
 	return nil
 }
 

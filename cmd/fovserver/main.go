@@ -43,7 +43,11 @@
 // to the given snapshot file; -load restores one at startup.
 //
 // Observability: the API itself serves GET /metrics (Prometheus text
-// format) and GET /healthz. -debug-addr additionally opens a second
+// format), GET /healthz (an evaluated per-component health report —
+// HTTP 503 when the overall state is failing, e.g. after a sticky WAL
+// write/fsync failure), and GET /debug/history (sampled metric history
+// rings; `fovctl top` renders them live, -history=false disables the
+// sampler). -debug-addr additionally opens a second
 // listener carrying net/http/pprof under /debug/pprof/ plus a /metrics
 // alias — keep it bound to localhost, profiling endpoints are not meant
 // for the open internet. Request logs are structured (log/slog) with
@@ -71,6 +75,7 @@ import (
 
 	"fovr/internal/client"
 	"fovr/internal/fov"
+	"fovr/internal/obs"
 	"fovr/internal/replica"
 	"fovr/internal/server"
 	"fovr/internal/store"
@@ -96,6 +101,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 16, "retain 1 in N ordinary query traces (0 retains none)")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8477)")
 	replicaPoll := flag.Duration("replica-poll", 10*time.Second, "long-poll wait per replication fetch with -replica-of")
+	replicaLagWarn := flag.Int64("replica-lag-warn", 8<<20, "replication lag in bytes at which /healthz reports the replica degraded")
+	history := flag.Bool("history", true, "sample metric history into in-memory rings served on GET /debug/history (what fovctl top reads)")
 	flag.Parse()
 
 	if *replicaOf != "" && *load != "" {
@@ -117,6 +124,7 @@ func main() {
 		ShardWorkers:       *shardWorkers,
 		SlowQueryThreshold: *slowQuery,
 		TraceSampleRate:    *traceSample,
+		History:            obs.HistoryConfig{Enabled: *history},
 	}
 	// Flag value 0 means "off"; the Config zero value means "default",
 	// so translate explicitly.
@@ -132,6 +140,7 @@ func main() {
 	if *replicaOf != "" {
 		cfg.ReadOnly = true
 		cfg.LeaderURL = *replicaOf
+		cfg.ReplicaLagWarnBytes = *replicaLagWarn
 	}
 	var st *store.Disk
 	if *dataDir != "" {
@@ -240,6 +249,7 @@ func main() {
 			// final checkpoint.
 			fol.Close()
 		}
+		srv.Close() // stop the history sampler
 		if *save != "" {
 			f, err := os.Create(*save)
 			if err != nil {

@@ -12,11 +12,14 @@ package client
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"fovr/internal/fov"
@@ -142,9 +145,25 @@ func New(baseURL string) *Client {
 // server-assigned segment ids, retrying transient failures up to
 // MaxRetries times.
 func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
+	ids, _, err := c.UploadTraced(u, "")
+	return ids, err
+}
+
+// UploadTraced is Upload with cross-process trace propagation: the
+// request carries trace in the X-Fovr-Trace header (a fresh random ID
+// is minted when trace is empty), the server stamps it into the WAL
+// record, and the returned trace ID is resolvable at
+// /debug/traces/{id} on the leader and — once the record replicates —
+// on every follower, whose apply-side trace names this upload as its
+// origin. Retries reuse the same trace ID, so a retried upload's
+// attempts stitch to one trace.
+func (c *Client) UploadTraced(u wire.Upload, trace string) ([]uint64, string, error) {
 	body, err := wire.EncodeBinary(u)
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	if trace == "" {
+		trace = mintTraceID()
 	}
 	sp := uploadSpan.Start()
 	defer sp.End()
@@ -152,17 +171,32 @@ func (c *Client) Upload(u wire.Upload) ([]uint64, error) {
 	err = retryWithBackoff(c.MaxRetries, c.RetryDelay, uploadRetries, func() (bool, error) {
 		var retriable bool
 		var perr error
-		respBody, retriable, perr = c.postOnce("/upload", "application/octet-stream", body)
+		respBody, retriable, perr = c.postOnce("/upload", "application/octet-stream", body, trace)
 		return retriable, perr
 	})
 	if err != nil {
-		return nil, err
+		return nil, trace, err
 	}
 	var resp server.UploadResponse
 	if err := json.Unmarshal(respBody, &resp); err != nil {
-		return nil, fmt.Errorf("client: upload response: %w", err)
+		return nil, trace, fmt.Errorf("client: upload response: %w", err)
 	}
-	return resp.IDs, nil
+	if resp.TraceID != "" {
+		trace = resp.TraceID
+	}
+	return resp.IDs, trace, nil
+}
+
+// mintTraceID returns a random 16-hex-digit trace ID with a client
+// prefix, so leader-side listings show where a trace originated.
+func mintTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; for a
+		// debug identifier a constant fallback is acceptable.
+		return "up-00000000"
+	}
+	return "up-" + hex.EncodeToString(b[:])
 }
 
 // Query runs a retrieval request and returns the ranked results along
@@ -225,6 +259,56 @@ func (c *Client) Trace(id string) (*obs.QueryTrace, error) {
 	return &tr, nil
 }
 
+// History fetches sampled metric history from /debug/history. metric
+// is a substring filter ("" for every series), since bounds the window
+// (zero for everything retained), and res selects the resolution
+// ("fine" ~seconds over minutes, "coarse" ~15s over hours).
+func (c *Client) History(metric string, since time.Duration, res string) (server.HistoryResponse, error) {
+	q := url.Values{}
+	if metric != "" {
+		q.Set("metric", metric)
+	}
+	if since > 0 {
+		q.Set("since", since.String())
+	}
+	if res != "" {
+		q.Set("res", res)
+	}
+	path := "/debug/history"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp server.HistoryResponse
+	if err := c.getJSON(path, &resp); err != nil {
+		return server.HistoryResponse{}, err
+	}
+	return resp, nil
+}
+
+// Healthz fetches the server's evaluated health report. Unlike the
+// other getters it decodes the body even on a 503 — that status IS the
+// report (overall state failing), not a transport failure.
+func (c *Client) Healthz() (server.HealthzResponse, error) {
+	httpResp, err := c.httpClient().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return server.HealthzResponse{}, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return server.HealthzResponse{}, err
+	}
+	c.addTraffic(0, len(body))
+	if httpResp.StatusCode != http.StatusOK && httpResp.StatusCode != http.StatusServiceUnavailable {
+		return server.HealthzResponse{}, fmt.Errorf("client: healthz: %s: %s", httpResp.Status, bytes.TrimSpace(body))
+	}
+	var hr server.HealthzResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		return server.HealthzResponse{}, fmt.Errorf("client: healthz response: %w", err)
+	}
+	return hr, nil
+}
+
 func (c *Client) getJSON(path string, out any) error {
 	httpResp, err := c.httpClient().Get(c.BaseURL + path)
 	if err != nil {
@@ -265,15 +349,24 @@ func (c *Client) Stats() (server.Stats, error) {
 }
 
 func (c *Client) post(path, contentType string, body []byte) ([]byte, error) {
-	respBody, _, err := c.postOnce(path, contentType, body)
+	respBody, _, err := c.postOnce(path, contentType, body, "")
 	return respBody, err
 }
 
 // postOnce performs one POST and classifies failures: retriable means a
 // connection-level error or a gateway status (502/503/504) where a retry
-// has a chance of succeeding.
-func (c *Client) postOnce(path, contentType string, body []byte) (respBody []byte, retriable bool, err error) {
-	resp, err := c.httpClient().Post(c.BaseURL+path, contentType, bytes.NewReader(body))
+// has a chance of succeeding. A non-empty trace is propagated in the
+// X-Fovr-Trace header.
+func (c *Client) postOnce(path, contentType string, body []byte, trace string) (respBody []byte, retriable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if trace != "" {
+		req.Header.Set(server.TraceHeader, trace)
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, true, err
 	}

@@ -1,0 +1,186 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/obs"
+	"fovr/internal/query"
+	"fovr/internal/segment"
+	"fovr/internal/server"
+	"fovr/internal/store"
+	"fovr/internal/wire"
+)
+
+// TableOpsOverhead measures what the ops plane costs the data path.
+// Two comparisons, each against the untouched baseline:
+//
+//   - Query path with the metric-history sampler attached and ticking
+//     at 10x its default rate, vs no sampler. The sampler is strictly
+//     pull-based — metric writes never see it — so the only possible
+//     cost is background scrape CPU stealing cycles; the allocation
+//     column pins that the hot path itself is unchanged.
+//   - Ingest with cross-process trace propagation (every upload
+//     stamped with a trace ID that travels into the WAL record), vs
+//     untraced ingest on the same durable store. The delta prices the
+//     trace bytes in each journal frame plus the retained ingest
+//     trace.
+func TableOpsOverhead(n, queries int) *Table {
+	if n <= 0 {
+		n = 20000
+	}
+	if queries <= 0 {
+		queries = 200
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Ops-plane overhead (%d entries, %d queries)", n, queries),
+		Columns: []string{"path", "mode", "us_per_op", "allocs_per_op", "overhead_pct"},
+	}
+	batches := shardScaleBatches(n)
+	uploads := make([]wire.Upload, len(batches))
+	for i, b := range batches {
+		u := wire.Upload{Provider: b[0].Provider, Reps: make([]segment.Representative, 0, len(b))}
+		for _, e := range b {
+			u.Reps = append(u.Reps, e.Rep)
+		}
+		uploads[i] = u
+	}
+	rng := rand.New(rand.NewSource(97))
+	qs := make([]query.Query, queries)
+	for i := range qs {
+		start := int64(rng.Intn(86_400_000))
+		qs[i] = query.Query{
+			Center:       geo.Offset(shardScaleCity, rng.Float64()*360, rng.Float64()*5000),
+			RadiusMeters: 200,
+			StartMillis:  start,
+			EndMillis:    start + 3_600_000,
+		}
+	}
+
+	newServer := func(st store.Store, hist obs.HistoryConfig) (*server.Server, error) {
+		return server.New(server.Config{
+			Camera:   fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100},
+			Store:    st,
+			Registry: obs.NewRegistry(),
+			History:  hist,
+		})
+	}
+	queryRun := func(s *server.Server) (usPerOp, allocs float64, err error) {
+		for _, u := range uploads {
+			if _, err := s.Register(u); err != nil {
+				return 0, 0, err
+			}
+		}
+		for _, q := range qs { // warm
+			if _, err := s.Query(q, 10); err != nil {
+				return 0, 0, err
+			}
+		}
+		start := time.Now()
+		for _, q := range qs {
+			if _, err := s.Query(q, 10); err != nil {
+				return 0, 0, err
+			}
+		}
+		usPerOp = float64(time.Since(start).Microseconds()) / float64(len(qs))
+		allocs = testing.AllocsPerRun(100, func() {
+			if _, err := s.Query(qs[0], 10); err != nil {
+				panic(err)
+			}
+		})
+		return usPerOp, allocs, nil
+	}
+
+	// Query path: sampler off vs aggressively on.
+	off, err := newServer(store.NewMem(), obs.HistoryConfig{})
+	if err != nil {
+		t.AddNote("server: %v", err)
+		return t
+	}
+	offUS, offAllocs, err := queryRun(off)
+	if err != nil {
+		t.AddNote("sampler-off run: %v", err)
+		return t
+	}
+	on, err := newServer(store.NewMem(), obs.HistoryConfig{Enabled: true, FineInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.AddNote("server: %v", err)
+		return t
+	}
+	onUS, onAllocs, err := queryRun(on)
+	on.Close()
+	if err != nil {
+		t.AddNote("sampler-on run: %v", err)
+		return t
+	}
+	t.AddRow("query", "sampler off", f1(offUS), f1(offAllocs), "0.0")
+	t.AddRow("query", "sampler on (100ms)", f1(onUS), f1(onAllocs), f1(pctOver(offUS, onUS)))
+
+	// Ingest path: untraced vs per-upload trace propagation, both on a
+	// durable store with syncing out of the way so the delta is the
+	// propagation itself, not the disk.
+	ingestRun := func(traced bool) (usPerOp float64, walBytes int64, err error) {
+		dir, err := os.MkdirTemp("", "fovr-opsbench-")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(store.Options{
+			Dir:                dir,
+			Fsync:              store.FsyncNever,
+			CheckpointInterval: -1,
+			Registry:           obs.NewRegistry(),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer st.Close()
+		s, err := newServer(st, obs.HistoryConfig{})
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		for i, u := range uploads {
+			if traced {
+				_, err = s.RegisterTraced(u, fmt.Sprintf("bench-up-%016x", i))
+			} else {
+				_, err = s.Register(u)
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		_, walBytes = st.LogCursor()
+		return float64(elapsed.Microseconds()) / float64(len(uploads)), walBytes, nil
+	}
+	plainUS, plainWAL, err := ingestRun(false)
+	if err != nil {
+		t.AddNote("untraced ingest: %v", err)
+		return t
+	}
+	tracedUS, tracedWAL, err := ingestRun(true)
+	if err != nil {
+		t.AddNote("traced ingest: %v", err)
+		return t
+	}
+	t.AddRow("ingest", "untraced", f1(plainUS), "-", "0.0")
+	t.AddRow("ingest", "traced (X-Fovr-Trace)", f1(tracedUS), "-", f1(pctOver(plainUS, tracedUS)))
+	t.AddNote("sampler on scrapes the full registry into fine rings every 100ms (10x the production default of 1s)")
+	t.AddNote("query allocs/op counts the whole server Query call; the sampler must not change it (pull-based, zero on the metric write path)")
+	t.AddNote("traced ingest adds %d WAL bytes over %d uploads (%.1f bytes/upload: trace length varint + trace ID per record)",
+		tracedWAL-plainWAL, len(uploads), float64(tracedWAL-plainWAL)/float64(len(uploads)))
+	return t
+}
+
+func pctOver(base, v float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}

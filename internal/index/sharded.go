@@ -423,6 +423,28 @@ func (x *Sharded) NumShards() int {
 	return n
 }
 
+// ShardSizes returns the entry count of every live shard keyed by
+// shard label. Health checks use the distribution to detect imbalance
+// (one shard absorbing most of the index defeats the fan-out).
+func (x *Sharded) ShardSizes() map[string]int {
+	x.mu.RLock()
+	shards := make([]*shard, 0, len(x.timeShards))
+	for _, sh := range x.timeShards {
+		shards = append(shards, sh)
+	}
+	x.mu.RUnlock()
+	out := make(map[string]int, len(shards)+len(x.spatial))
+	for _, sh := range shards {
+		out[sh.label] = sh.rt.Len()
+	}
+	for _, sp := range x.spatial {
+		if n := sp.rt.Len(); n > 0 {
+			out[sp.label] = n
+		}
+	}
+	return out
+}
+
 // shardsFor returns, in deterministic order (ascending window, then the
 // spatial fallbacks), every shard that could hold an entry whose
 // segment intersects [startMillis, endMillis]. A time shard holds

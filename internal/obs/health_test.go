@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHealthStateWorse(t *testing.T) {
+	cases := []struct {
+		a, b, want HealthState
+	}{
+		{HealthOK, HealthOK, HealthOK},
+		{HealthOK, HealthDegraded, HealthDegraded},
+		{HealthDegraded, HealthOK, HealthDegraded},
+		{HealthDegraded, HealthFailing, HealthFailing},
+		{HealthFailing, HealthOK, HealthFailing},
+	}
+	for _, c := range cases {
+		if got := c.a.Worse(c.b); got != c.want {
+			t.Errorf("%s.Worse(%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHealthSetEvaluate(t *testing.T) {
+	hs := NewHealthSet()
+	hs.Register("zeta", func() HealthCheck {
+		return HealthCheck{State: HealthOK, Details: map[string]any{"n": 1}}
+	})
+	hs.Register("alpha", func() HealthCheck {
+		return HealthCheck{State: HealthDegraded, Reasons: []string{"alpha: slow"}}
+	})
+
+	r := hs.Evaluate()
+	if r.State != HealthDegraded {
+		t.Fatalf("overall state = %s, want degraded", r.State)
+	}
+	if len(r.Checks) != 2 || r.Checks[0].Component != "alpha" || r.Checks[1].Component != "zeta" {
+		t.Fatalf("checks not sorted by component: %+v", r.Checks)
+	}
+	// A checker leaving Component/State zero gets them filled in.
+	if r.Checks[1].Component != "zeta" || r.Checks[1].State != HealthOK {
+		t.Fatalf("zero-value fill: %+v", r.Checks[1])
+	}
+	if r.EvaluatedAt == "" {
+		t.Fatal("EvaluatedAt missing")
+	}
+
+	// A failing component dominates; re-registering replaces.
+	hs.Register("alpha", func() HealthCheck {
+		return HealthCheck{State: HealthFailing, Reasons: []string{"alpha: dead"}}
+	})
+	if r := hs.Evaluate(); r.State != HealthFailing {
+		t.Fatalf("overall state = %s, want failing", r.State)
+	}
+}
+
+func TestHealthSetEmpty(t *testing.T) {
+	if r := NewHealthSet().Evaluate(); r.State != HealthOK || len(r.Checks) != 0 {
+		t.Fatalf("empty set: %+v", r)
+	}
+}
+
+// TestHealthSetConcurrent registers and evaluates concurrently (run
+// with -race): /healthz is served per-request while AttachFollower may
+// register a checker late.
+func TestHealthSetConcurrent(t *testing.T) {
+	hs := NewHealthSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				hs.Register("comp", func() HealthCheck { return HealthCheck{State: HealthOK} })
+				hs.Evaluate()
+			}
+		}()
+	}
+	wg.Wait()
+}

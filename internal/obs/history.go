@@ -1,0 +1,306 @@
+// In-process metric history. A History periodically scrapes the
+// registry (and, through the registry's func metrics, runtime/metrics)
+// into fixed-capacity per-series ring buffers, so a node can answer
+// "what did this metric do over the last N minutes" without an external
+// time-series database. Two resolutions are kept: a fine ring (~1s for
+// ~5min) for live dashboards, and a coarse ring (~15s for ~2h) for
+// post-hoc "how did I get here" questions. Memory is bounded: each ring
+// has fixed capacity, and the number of tracked series is capped — a
+// registry that grows past the cap has its newest names dropped (the
+// drop is counted, never silent).
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HistoryConfig configures a History sampler.
+type HistoryConfig struct {
+	// Enabled starts the background sampling goroutine when the server
+	// is constructed. The zero value is off so embedded/test servers do
+	// not leak goroutines; cmd/fovserver enables it by default.
+	Enabled bool
+	// FineInterval is the fine ring's sampling period (default 1s).
+	FineInterval time.Duration
+	// FineSlots is the fine ring's capacity (default 300 ≈ 5min at 1s).
+	FineSlots int
+	// CoarseInterval is the coarse ring's sampling period (default 15s).
+	CoarseInterval time.Duration
+	// CoarseSlots is the coarse ring's capacity (default 480 ≈ 2h at 15s).
+	CoarseSlots int
+	// MaxSeries caps the number of tracked series per resolution
+	// (default 512). Series beyond the cap are dropped and counted in
+	// HistoryStats.DroppedSeries.
+	MaxSeries int
+}
+
+func (c HistoryConfig) withDefaults() HistoryConfig {
+	if c.FineInterval <= 0 {
+		c.FineInterval = time.Second
+	}
+	if c.FineSlots <= 0 {
+		c.FineSlots = 300
+	}
+	if c.CoarseInterval <= 0 {
+		c.CoarseInterval = 15 * time.Second
+	}
+	if c.CoarseSlots <= 0 {
+		c.CoarseSlots = 480
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = 512
+	}
+	return c
+}
+
+// HistorySample is one (time, value) observation. Marshalled compactly
+// by the server as [unixMillis, value] pairs.
+type HistorySample struct {
+	UnixMillis int64   `json:"t"`
+	Value      float64 `json:"v"`
+}
+
+// HistorySeries is one named series at one resolution.
+type HistorySeries struct {
+	Name    string          `json:"name"`
+	Res     string          `json:"res"` // "fine" or "coarse"
+	Samples []HistorySample `json:"samples"`
+}
+
+// HistoryStats describes the sampler's own state.
+type HistoryStats struct {
+	Series        int   `json:"series"`         // distinct tracked series (fine resolution)
+	DroppedSeries int   `json:"dropped_series"` // names refused by the MaxSeries cap
+	FineSamples   int64 `json:"fine_samples"`   // scrape ticks taken at fine resolution
+	CoarseSamples int64 `json:"coarse_samples"`
+}
+
+// histRing is a fixed-capacity ring of (time, value) samples. Slices
+// are allocated once at first use and never grow.
+type histRing struct {
+	t    []int64
+	v    []float64
+	next int
+	n    int
+}
+
+func newHistRing(slots int) *histRing {
+	return &histRing{t: make([]int64, slots), v: make([]float64, slots)}
+}
+
+func (r *histRing) add(ts int64, val float64) {
+	r.t[r.next] = ts
+	r.v[r.next] = val
+	r.next = (r.next + 1) % len(r.t)
+	if r.n < len(r.t) {
+		r.n++
+	}
+}
+
+// since appends samples newer than cutoff (unix millis) in time order.
+func (r *histRing) since(cutoff int64, out []HistorySample) []HistorySample {
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.t)
+	}
+	for i := 0; i < r.n; i++ {
+		idx := (start + i) % len(r.t)
+		if r.t[idx] >= cutoff {
+			out = append(out, HistorySample{UnixMillis: r.t[idx], Value: r.v[idx]})
+		}
+	}
+	return out
+}
+
+// histRes is one resolution's worth of state: the per-series rings plus
+// the previous raw counter values used for rate derivation.
+type histRes struct {
+	interval time.Duration
+	slots    int
+	series   map[string]*histRing
+	prevVal  map[string]float64 // last raw counter/histogram-count value
+	prevAt   int64              // unix millis of the previous scrape
+	samples  int64
+}
+
+func newHistRes(interval time.Duration, slots int) *histRes {
+	return &histRes{
+		interval: interval,
+		slots:    slots,
+		series:   make(map[string]*histRing),
+		prevVal:  make(map[string]float64),
+	}
+}
+
+// History samples a Registry into bounded ring buffers. Construct with
+// NewHistory; call Start to begin background sampling, Stop to end it.
+// Sample may also be driven manually (tests, or a caller with its own
+// scheduler).
+type History struct {
+	reg *Registry
+	cfg HistoryConfig
+
+	mu      sync.RWMutex
+	fine    *histRes
+	coarse  *histRes
+	dropped int
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewHistory creates a sampler over reg. It does not start a goroutine;
+// call Start for background sampling.
+func NewHistory(reg *Registry, cfg HistoryConfig) *History {
+	cfg = cfg.withDefaults()
+	return &History{
+		reg:    reg,
+		cfg:    cfg,
+		fine:   newHistRes(cfg.FineInterval, cfg.FineSlots),
+		coarse: newHistRes(cfg.CoarseInterval, cfg.CoarseSlots),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the background sampling loop. The fine ticker drives
+// both resolutions: every tick samples fine, and coarse samples when at
+// least its interval has elapsed since its last sample.
+func (h *History) Start() {
+	go func() {
+		defer close(h.done)
+		ticker := time.NewTicker(h.cfg.FineInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case now := <-ticker.C:
+				h.Sample(now)
+			}
+		}
+	}()
+}
+
+// Stop ends background sampling and waits for the loop to exit. Safe to
+// call multiple times and safe if Start was never called.
+func (h *History) Stop() {
+	h.once.Do(func() { close(h.stop) })
+	select {
+	case <-h.done:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// Sample takes one scrape at time now: always into the fine ring, and
+// into the coarse ring when its interval has elapsed.
+func (h *History) Sample(now time.Time) {
+	readings := h.reg.Readings()
+	ms := now.UnixMilli()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sampleRes(h.fine, readings, ms)
+	if h.coarse.prevAt == 0 || ms-h.coarse.prevAt >= h.coarse.interval.Milliseconds() {
+		h.sampleRes(h.coarse, readings, ms)
+	}
+}
+
+// sampleRes records one scrape into res. Counters are stored as rates
+// (delta / elapsed seconds); gauges as-is; histograms expand into three
+// derived series: <name>.p50, <name>.p99 (seconds), and <name>.rate
+// (observations/second). Dot suffixes cannot collide with Prometheus
+// metric names, which forbid '.'.
+func (h *History) sampleRes(res *histRes, readings []Reading, ms int64) {
+	elapsed := 0.0
+	if res.prevAt > 0 {
+		elapsed = float64(ms-res.prevAt) / 1000.0
+	}
+	for _, rd := range readings {
+		switch rd.Kind {
+		case "gauge":
+			h.record(res, rd.Name, ms, rd.Value)
+		case "counter":
+			h.recordRate(res, rd.Name, ms, rd.Value, elapsed)
+		case "histogram":
+			h.record(res, rd.Name+".p50", ms, rd.P50)
+			h.record(res, rd.Name+".p99", ms, rd.P99)
+			h.recordRate(res, rd.Name+".rate", ms, rd.Value, elapsed)
+		}
+	}
+	res.prevAt = ms
+	res.samples++
+}
+
+// recordRate stores the per-second rate derived from a monotonically
+// increasing raw value. The first scrape of a series has no previous
+// value and records nothing; a raw decrease (process restart cannot
+// happen in-memory, but a counter reset via re-registration can) resets
+// the baseline without recording a negative rate.
+func (h *History) recordRate(res *histRes, name string, ms int64, raw, elapsed float64) {
+	prev, ok := res.prevVal[name]
+	res.prevVal[name] = raw
+	if !ok || elapsed <= 0 || raw < prev {
+		return
+	}
+	h.record(res, name, ms, (raw-prev)/elapsed)
+}
+
+func (h *History) record(res *histRes, name string, ms int64, val float64) {
+	ring, ok := res.series[name]
+	if !ok {
+		if len(res.series) >= h.cfg.MaxSeries {
+			h.dropped++
+			return
+		}
+		ring = newHistRing(res.slots)
+		res.series[name] = ring
+	}
+	ring.add(ms, val)
+}
+
+// Query returns series whose name contains match (empty matches all),
+// restricted to samples at or after since. Resolution "coarse" reads
+// the coarse rings; anything else reads fine.
+func (h *History) Query(match string, since time.Time, resolution string) []HistorySeries {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	res := h.fine
+	resName := "fine"
+	if resolution == "coarse" {
+		res = h.coarse
+		resName = "coarse"
+	}
+	cutoff := since.UnixMilli()
+	names := make([]string, 0, len(res.series))
+	for name := range res.series {
+		if match == "" || strings.Contains(name, match) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]HistorySeries, 0, len(names))
+	for _, name := range names {
+		samples := res.series[name].since(cutoff, nil)
+		if len(samples) == 0 {
+			continue
+		}
+		out = append(out, HistorySeries{Name: name, Res: resName, Samples: samples})
+	}
+	return out
+}
+
+// Stats reports the sampler's own state.
+func (h *History) Stats() HistoryStats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return HistoryStats{
+		Series:        len(h.fine.series),
+		DroppedSeries: h.dropped,
+		FineSamples:   h.fine.samples,
+		CoarseSamples: h.coarse.samples,
+	}
+}

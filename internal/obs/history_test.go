@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sampleAt drives the sampler with a synthetic clock: tests must not
+// depend on real sampling cadence.
+func sampleAt(h *History, base time.Time, step time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		h.Sample(base.Add(time.Duration(i) * step))
+	}
+}
+
+func TestHistoryCounterBecomesRate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("fovr_test_total")
+	h := NewHistory(reg, HistoryConfig{})
+	base := time.Now()
+
+	h.Sample(base) // first scrape: baseline only, no rate sample yet
+	c.Add(10)
+	h.Sample(base.Add(time.Second)) // 10 in 1s → rate 10/s
+	c.Add(5)
+	h.Sample(base.Add(2 * time.Second)) // 5 in 1s → rate 5/s
+
+	series := h.Query("fovr_test_total", time.Time{}, "fine")
+	if len(series) != 1 {
+		t.Fatalf("got %d series, want 1: %+v", len(series), series)
+	}
+	got := series[0].Samples
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2 (first scrape records no rate): %+v", len(got), got)
+	}
+	if got[0].Value != 10 || got[1].Value != 5 {
+		t.Fatalf("rates = %v, %v; want 10, 5", got[0].Value, got[1].Value)
+	}
+}
+
+func TestHistoryGaugeAndHistogramSeries(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("fovr_test_gauge")
+	g.Set(42)
+	hist := reg.Histogram("fovr_test_seconds")
+	h := NewHistory(reg, HistoryConfig{})
+	base := time.Now()
+	h.Sample(base) // baseline scrape
+	for i := 0; i < 100; i++ {
+		hist.Observe(0.01)
+	}
+	h.Sample(base.Add(time.Second))
+
+	if s := h.Query("fovr_test_gauge", time.Time{}, "fine"); len(s) != 1 || s[0].Samples[0].Value != 42 {
+		t.Fatalf("gauge series: %+v", s)
+	}
+	// Histogram expands into .p50/.p99/.rate derived series.
+	for _, name := range []string{"fovr_test_seconds.p50", "fovr_test_seconds.p99", "fovr_test_seconds.rate"} {
+		s := h.Query(name, time.Time{}, "fine")
+		if len(s) != 1 {
+			t.Fatalf("missing derived series %q; have %+v", name, h.Query("fovr_test_seconds", time.Time{}, "fine"))
+		}
+	}
+	// 100 observations between scrape 0 and scrape 1 → rate 100/s.
+	rate := h.Query("fovr_test_seconds.rate", time.Time{}, "fine")[0].Samples
+	if len(rate) != 1 || rate[0].Value != 100 {
+		t.Fatalf("histogram rate samples = %+v, want one sample of 100", rate)
+	}
+}
+
+// TestHistoryRingCapacityBounded pins the fixed-memory contract: a
+// series never holds more than its configured slot count no matter how
+// many samples are taken, and old samples are evicted oldest-first.
+func TestHistoryRingCapacityBounded(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("fovr_test_gauge")
+	h := NewHistory(reg, HistoryConfig{FineSlots: 8, CoarseInterval: time.Hour})
+	base := time.Now()
+	for i := 0; i < 50; i++ {
+		g.Set(float64(i))
+		h.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	series := h.Query("fovr_test_gauge", time.Time{}, "fine")
+	if len(series) != 1 {
+		t.Fatalf("got %d series", len(series))
+	}
+	got := series[0].Samples
+	if len(got) != 8 {
+		t.Fatalf("ring holds %d samples, want exactly its capacity 8", len(got))
+	}
+	// The survivors are the newest 8, in time order.
+	for i, s := range got {
+		if want := float64(42 + i); s.Value != want {
+			t.Fatalf("sample %d = %v, want %v (oldest-first eviction)", i, s.Value, want)
+		}
+	}
+	// The ring's backing arrays never grow: capacity stays at the
+	// configured slot count.
+	h.mu.RLock()
+	ring := h.fine.series["fovr_test_gauge"]
+	if cap(ring.t) != 8 || cap(ring.v) != 8 {
+		t.Fatalf("ring capacity grew to %d/%d, want 8", cap(ring.t), cap(ring.v))
+	}
+	h.mu.RUnlock()
+}
+
+// TestHistoryMaxSeriesBounded pins the second half of the memory bound:
+// a registry with more names than MaxSeries has the overflow dropped
+// and counted, never tracked.
+func TestHistoryMaxSeriesBounded(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 20; i++ {
+		reg.Gauge(fmt.Sprintf("fovr_test_gauge_%02d", i)).Set(1)
+	}
+	h := NewHistory(reg, HistoryConfig{MaxSeries: 5})
+	sampleAt(h, time.Now(), time.Second, 3)
+	st := h.Stats()
+	if st.Series != 5 {
+		t.Fatalf("tracked %d series, want MaxSeries=5", st.Series)
+	}
+	if st.DroppedSeries == 0 {
+		t.Fatal("overflow series were not counted as dropped")
+	}
+}
+
+func TestHistoryCoarseResolution(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("fovr_test_gauge").Set(7)
+	h := NewHistory(reg, HistoryConfig{FineInterval: time.Second, CoarseInterval: 15 * time.Second})
+	base := time.Now()
+	sampleAt(h, base, time.Second, 31) // 31 fine ticks over 30s
+	fine := h.Query("fovr_test_gauge", time.Time{}, "fine")[0].Samples
+	coarse := h.Query("fovr_test_gauge", time.Time{}, "coarse")[0].Samples
+	if len(fine) != 31 {
+		t.Fatalf("fine samples = %d, want 31", len(fine))
+	}
+	// Coarse samples only when >= 15s elapsed: t=0, t=15, t=30.
+	if len(coarse) != 3 {
+		t.Fatalf("coarse samples = %d, want 3", len(coarse))
+	}
+}
+
+func TestHistorySinceFilter(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("fovr_test_gauge")
+	h := NewHistory(reg, HistoryConfig{})
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		h.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	got := h.Query("fovr_test_gauge", base.Add(7*time.Second), "fine")
+	if len(got) != 1 || len(got[0].Samples) != 3 {
+		t.Fatalf("since filter kept %+v, want the last 3 samples", got)
+	}
+	if none := h.Query("no_such_metric", time.Time{}, "fine"); len(none) != 0 {
+		t.Fatalf("bogus match returned %+v", none)
+	}
+}
+
+// TestHistoryConcurrent hammers Sample/Query/metric writes from
+// concurrent goroutines (run with -race): the satellite's concurrency
+// coverage for /debug/history's backing store.
+func TestHistoryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("fovr_test_total")
+	g := reg.Gauge("fovr_test_gauge")
+	hist := reg.Histogram("fovr_test_seconds")
+	h := NewHistory(reg, HistoryConfig{FineSlots: 16})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					g.Set(1)
+					hist.Observe(0.001)
+				}
+			}
+		}()
+	}
+	base := time.Now()
+	for i := 0; i < 200; i++ {
+		h.Sample(base.Add(time.Duration(i) * time.Millisecond * 20))
+		if i%10 == 0 {
+			h.Query("fovr_test", time.Time{}, "fine")
+			h.Query("", base, "coarse")
+			h.Stats()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for _, s := range h.Query("", time.Time{}, "fine") {
+		if len(s.Samples) > 16 {
+			t.Fatalf("series %s holds %d samples under concurrency, cap 16", s.Name, len(s.Samples))
+		}
+	}
+}
+
+// TestHistoryStartStop exercises the background loop lifecycle: Start
+// samples on its own, Stop terminates the goroutine, and double-Stop or
+// Stop-without-Start are safe.
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("fovr_test_gauge").Set(1)
+	h := NewHistory(reg, HistoryConfig{FineInterval: 5 * time.Millisecond})
+	h.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Stats().FineSamples == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.Stats().FineSamples == 0 {
+		t.Fatal("background sampler took no samples")
+	}
+	h.Stop()
+	h.Stop() // idempotent
+
+	unstarted := NewHistory(reg, HistoryConfig{})
+	unstarted.Stop() // safe without Start
+}
+
+// TestHistoryAddsNoAllocsToMetricWritePath pins the tentpole's
+// zero-overhead contract: the sampler is strictly pull-based, so the
+// instrumented hot path (counter increments, histogram observations —
+// what the untraced query path executes) allocates nothing extra with
+// a warmed sampler attached to the registry.
+func TestHistoryAddsNoAllocsToMetricWritePath(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("fovr_test_total")
+	hist := reg.Histogram("fovr_test_seconds")
+	h := NewHistory(reg, HistoryConfig{})
+	sampleAt(h, time.Now(), time.Second, 3) // warm every ring
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		hist.Observe(0.0001)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric write path allocates %.1f/op with sampler attached, want 0", allocs)
+	}
+}

@@ -297,6 +297,69 @@ func splitLabels(s string) []string {
 	return append(out, s[start:])
 }
 
+// Reading is one scraped metric value set: the instantaneous view of a
+// single registered metric, decoupled from the exposition format so
+// in-process consumers (the history sampler, health checks, tests) can
+// read the registry without parsing text.
+type Reading struct {
+	// Name is the full registered name, inline labels included.
+	Name string
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string
+	// Value is the counter count, the gauge value, or the histogram
+	// observation count.
+	Value float64
+	// Sum, P50, and P99 are set for histograms only: the observation sum
+	// and the interpolated 50th/99th-percentile estimates.
+	Sum float64
+	P50 float64
+	P99 float64
+}
+
+// Readings scrapes every registered metric into a sorted slice. Func
+// metrics are evaluated at call time, exactly as exposition would.
+func (r *Registry) Readings() []Reading {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	metrics := make(map[string]metric, len(r.metrics))
+	for name, m := range r.metrics {
+		metrics[name] = m
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]Reading, 0, len(names))
+	for _, name := range names {
+		rd := Reading{Name: name}
+		switch m := metrics[name].(type) {
+		case *Counter:
+			rd.Kind = "counter"
+			rd.Value = float64(m.Value())
+		case *Gauge:
+			rd.Kind = "gauge"
+			rd.Value = m.Value()
+		case gaugeFunc:
+			rd.Kind = "gauge"
+			rd.Value = m()
+		case counterFunc:
+			rd.Kind = "counter"
+			rd.Value = m()
+		case *Histogram:
+			rd.Kind = "histogram"
+			rd.Value = float64(m.Count())
+			rd.Sum = m.Sum()
+			rd.P50 = m.Quantile(0.5)
+			rd.P99 = m.Quantile(0.99)
+		default:
+			continue
+		}
+		out = append(out, rd)
+	}
+	return out
+}
+
 // WritePrometheus writes every registered metric in the Prometheus text
 // exposition format (version 0.0.4), families sorted by name with a
 // single # TYPE line each.

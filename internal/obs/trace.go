@@ -85,9 +85,16 @@ type QueryTrace struct {
 	Err        string       `json:"err,omitempty"`
 
 	// Class is set by the TraceStore when the trace is retained:
-	// "error", "slow", or "sample". Seq is the store's admission order.
+	// "error", "slow", "sample", or "ingest". Seq is the store's
+	// admission order.
 	Class string `json:"class,omitempty"`
 	Seq   uint64 `json:"seq,omitempty"`
+
+	// Origin is the trace ID of the request on another process that
+	// caused this one — e.g. a follower's apply trace names the leader
+	// upload that produced the WAL record. Propagated via the
+	// X-Fovr-Trace header and the WAL record's trace field.
+	Origin string `json:"origin,omitempty"`
 
 	start time.Time
 }

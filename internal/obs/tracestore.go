@@ -30,6 +30,7 @@ type TraceStore struct {
 	seen      uint64
 	important traceRing // errored + slow
 	sampled   traceRing // 1-in-N of the rest
+	ingest    traceRing // unconditionally kept via Keep (cross-process)
 	stats     TraceStoreStats
 }
 
@@ -53,11 +54,14 @@ type TraceStoreStats struct {
 	KeptError   int64 `json:"keptError"`
 	KeptSlow    int64 `json:"keptSlow"`
 	KeptSampled int64 `json:"keptSampled"`
+	KeptIngest  int64 `json:"keptIngest"`
 }
 
 // Kept returns the total number of retained traces over the store's
 // lifetime (retained, not necessarily still resident).
-func (s TraceStoreStats) Kept() int64 { return s.KeptError + s.KeptSlow + s.KeptSampled }
+func (s TraceStoreStats) Kept() int64 {
+	return s.KeptError + s.KeptSlow + s.KeptSampled + s.KeptIngest
+}
 
 // NewTraceStore builds a store from the config.
 func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
@@ -76,6 +80,7 @@ func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
 		sample:    cfg.SampleRate,
 		important: traceRing{buf: make([]*QueryTrace, cfg.Capacity)},
 		sampled:   traceRing{buf: make([]*QueryTrace, cfg.Capacity)},
+		ingest:    traceRing{buf: make([]*QueryTrace, cfg.Capacity)},
 	}
 }
 
@@ -121,23 +126,48 @@ func (s *TraceStore) Observe(t *QueryTrace) bool {
 	return true
 }
 
+// Keep retains a trace unconditionally in the ingest ring, bypassing
+// tail-sampling classification. It is how cross-process traces — a
+// follower's apply of a leader's upload — are guaranteed to survive, so
+// the propagated Origin ID can be looked up later. The trace must not
+// be mutated after being kept.
+func (s *TraceStore) Keep(t *QueryTrace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.Class == "" {
+		t.Class = "ingest"
+	}
+	s.stats.KeptIngest++
+	s.seq++
+	t.Seq = s.seq
+	s.ingest.add(t)
+}
+
 // Traces returns the retained traces, newest first.
 func (s *TraceStore) Traces() []*QueryTrace {
 	s.mu.Lock()
-	out := append(s.important.all(), s.sampled.all()...)
+	out := append(append(s.important.all(), s.sampled.all()...), s.ingest.all()...)
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
 	return out
 }
 
-// Get returns the retained trace with the given id, or nil.
+// Get returns the retained trace with the given id, or nil. A trace is
+// found by its own ID or — so a leader-side ID resolves on a follower —
+// by its propagated Origin ID.
 func (s *TraceStore) Get(id string) *QueryTrace {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t := s.important.find(id); t != nil {
 		return t
 	}
-	return s.sampled.find(id)
+	if t := s.sampled.find(id); t != nil {
+		return t
+	}
+	return s.ingest.find(id)
 }
 
 // Stats returns the store's admission counters.
@@ -151,7 +181,7 @@ func (s *TraceStore) Stats() TraceStoreStats {
 func (s *TraceStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.important.n + s.sampled.n
+	return s.important.n + s.sampled.n + s.ingest.n
 }
 
 // traceRing is a fixed-capacity ring buffer of traces; the newest write
@@ -180,7 +210,7 @@ func (r *traceRing) all() []*QueryTrace {
 
 func (r *traceRing) find(id string) *QueryTrace {
 	for i := 0; i < r.n; i++ {
-		if t := r.buf[(r.next-1-i+len(r.buf))%len(r.buf)]; t.ID == id {
+		if t := r.buf[(r.next-1-i+len(r.buf))%len(r.buf)]; t.ID == id || (t.Origin != "" && t.Origin == id) {
 			return t
 		}
 	}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTraceStoreKeepAndOriginLookup pins the cross-process stitching
+// contract: a Keep'd trace is retained unconditionally, classed
+// "ingest", and resolvable by either its own ID or its Origin (the
+// leader-side trace ID it propagated from).
+func TestTraceStoreKeepAndOriginLookup(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Capacity: 4})
+	tr := NewQueryTrace("apply-1")
+	tr.Origin = "leader-q42"
+	tr.Finish(nil)
+	s.Keep(tr)
+
+	if got := s.Get("apply-1"); got != tr {
+		t.Fatal("Keep'd trace not resolvable by its own id")
+	}
+	if got := s.Get("leader-q42"); got != tr {
+		t.Fatal("Keep'd trace not resolvable by its Origin id")
+	}
+	if tr.Class != "ingest" {
+		t.Fatalf("Class = %q, want ingest", tr.Class)
+	}
+	if st := s.Stats(); st.KeptIngest != 1 || st.Kept() != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Listed alongside the sampled/important traces.
+	if all := s.Traces(); len(all) != 1 || all[0].ID != "apply-1" {
+		t.Fatalf("Traces() = %+v", all)
+	}
+}
+
+// TestTraceStoreIngestRingEviction pins the bounded-memory contract of
+// the ingest ring: capacity is fixed, the oldest Keep'd trace is
+// evicted first, and ingest volume cannot evict errored/slow traces
+// (they live in their own ring).
+func TestTraceStoreIngestRingEviction(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Capacity: 3, SampleRate: -1})
+
+	errTr := NewQueryTrace("err-1")
+	errTr.Finish(fmt.Errorf("boom"))
+	if !s.Observe(errTr) {
+		t.Fatal("errored trace not kept")
+	}
+
+	for i := 0; i < 10; i++ {
+		tr := NewQueryTrace(fmt.Sprintf("ingest-%d", i))
+		tr.Origin = fmt.Sprintf("leader-%d", i)
+		tr.Finish(nil)
+		s.Keep(tr)
+	}
+	// Ring capacity 3: only the newest three ingest traces survive.
+	if s.Len() != 4 { // 3 ingest + 1 important
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Get("ingest-6") != nil || s.Get("leader-6") != nil {
+		t.Fatal("evicted ingest trace still resolvable")
+	}
+	for i := 7; i < 10; i++ {
+		if s.Get(fmt.Sprintf("leader-%d", i)) == nil {
+			t.Fatalf("ingest trace %d missing, want newest 3 resident", i)
+		}
+	}
+	// The flood did not evict the errored trace.
+	if s.Get("err-1") == nil {
+		t.Fatal("ingest flood evicted an errored trace")
+	}
+}
+
+// TestTraceStoreConcurrentKeepObserve hammers Keep, Observe, Get, and
+// Traces concurrently (run with -race).
+func TestTraceStoreConcurrentKeepObserve(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Capacity: 16, SampleRate: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 3 {
+				case 0:
+					tr := NewQueryTrace(fmt.Sprintf("k-%d-%d", w, i))
+					tr.Origin = fmt.Sprintf("o-%d-%d", w, i)
+					tr.Finish(nil)
+					s.Keep(tr)
+				case 1:
+					tr := NewQueryTrace(fmt.Sprintf("s-%d-%d", w, i))
+					tr.Finish(nil)
+					s.Observe(tr)
+				case 2:
+					s.Get(fmt.Sprintf("o-%d-%d", w, i-2))
+					s.Traces()
+					s.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() > 3*16 {
+		t.Fatalf("Len = %d exceeds 3 rings x capacity 16", s.Len())
+	}
+}

@@ -19,12 +19,14 @@ import (
 
 // Applier is the state sink the follower feeds; *server.Server
 // implements it. ApplyRegister and ApplyRemove mirror one leader WAL
-// record each; ResetState replaces the state wholesale (bootstrap).
-// After a failed apply the state may be inconsistent with the cursor;
-// the follower recovers by re-bootstrapping, never by retrying.
+// record each, carrying the originating leader request's trace ID (""
+// when that request was untraced); ResetState replaces the state
+// wholesale (bootstrap). After a failed apply the state may be
+// inconsistent with the cursor; the follower recovers by
+// re-bootstrapping, never by retrying.
 type Applier interface {
-	ApplyRegister(entries []index.Entry) error
-	ApplyRemove(ids []uint64) error
+	ApplyRegister(entries []index.Entry, trace string) error
+	ApplyRemove(ids []uint64, trace string) error
 	ResetState(entries []index.Entry) error
 }
 
@@ -319,13 +321,14 @@ func setLag(st *Status, b *Batch) {
 	st.CaughtUp = st.LagBytes == 0
 }
 
-// applyRecord dispatches one decoded WAL record to the Applier.
+// applyRecord dispatches one decoded WAL record to the Applier,
+// forwarding the propagated trace ID the leader stamped into it.
 func applyRecord(a Applier, rec store.Record) error {
 	switch {
 	case len(rec.Entries) > 0:
-		return a.ApplyRegister(rec.Entries)
+		return a.ApplyRegister(rec.Entries, rec.Trace)
 	case len(rec.IDs) > 0:
-		return a.ApplyRemove(rec.IDs)
+		return a.ApplyRemove(rec.IDs, rec.Trace)
 	}
 	return nil // empty record: nothing to fold
 }

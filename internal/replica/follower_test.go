@@ -83,7 +83,8 @@ type memApplier struct {
 	mu      sync.Mutex
 	state   map[uint64]index.Entry
 	resets  int
-	failOne error // next Apply* call fails with this once
+	traces  []string // propagated trace ids seen by Apply* calls
+	failOne error    // next Apply* call fails with this once
 }
 
 func newMemApplier() *memApplier { return &memApplier{state: map[uint64]index.Entry{}} }
@@ -94,11 +95,14 @@ func (m *memApplier) takeFailure() error {
 	return err
 }
 
-func (m *memApplier) ApplyRegister(entries []index.Entry) error {
+func (m *memApplier) ApplyRegister(entries []index.Entry, trace string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.takeFailure(); err != nil {
 		return err
+	}
+	if trace != "" {
+		m.traces = append(m.traces, trace)
 	}
 	for _, e := range entries {
 		m.state[e.ID] = e
@@ -106,11 +110,14 @@ func (m *memApplier) ApplyRegister(entries []index.Entry) error {
 	return nil
 }
 
-func (m *memApplier) ApplyRemove(ids []uint64) error {
+func (m *memApplier) ApplyRemove(ids []uint64, trace string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.takeFailure(); err != nil {
 		return err
+	}
+	if trace != "" {
+		m.traces = append(m.traces, trace)
 	}
 	for _, id := range ids {
 		delete(m.state, id)

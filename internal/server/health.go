@@ -1,0 +1,270 @@
+// Component health and metric history endpoints: the server-side half
+// of the ops plane. registerHealthChecks wires the store and index
+// checkers at construction; AttachFollower adds the replica checker.
+// /healthz serves the evaluated report (503 on failing, so a balancer
+// or the future query router can stop routing to a node that lost
+// durability), and /debug/history serves the sampler's ring buffers.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"fovr/internal/index"
+	"fovr/internal/obs"
+	"fovr/internal/replica"
+	"fovr/internal/store"
+)
+
+// Health thresholds. Conservative: degraded states flag conditions an
+// operator should look at, failing states mean the node cannot do its
+// job.
+const (
+	// walWarnBytes degrades the store when the live WAL segment exceeds
+	// it: checkpointing has fallen behind ingest and recovery time is
+	// growing unboundedly.
+	walWarnBytes = 1 << 30 // 1 GiB
+	// checkpointLagFactor degrades the store when the time since the
+	// last checkpoint exceeds this multiple of the configured interval
+	// while appends are pending.
+	checkpointLagFactor = 3
+	// shardImbalanceFactor degrades the sharded index when the largest
+	// shard holds more than this multiple of the mean shard size (with
+	// at least shardImbalanceMin entries): the fan-out has degenerated
+	// into one hot shard.
+	shardImbalanceFactor = 4
+	shardImbalanceMin    = 10_000
+	// defaultReplicaLagWarnBytes is Config.ReplicaLagWarnBytes's zero
+	// default.
+	defaultReplicaLagWarnBytes = 8 << 20 // 8 MiB
+	// bootstrapLoopWindow/bootstrapLoopCount: a replica that
+	// re-bootstraps this many times within the window is failing — it
+	// cannot hold a stable tail.
+	bootstrapLoopWindow = 5 * time.Minute
+	bootstrapLoopCount  = 3
+)
+
+// registerHealthChecks installs the store and index checkers. The
+// replica checker joins in AttachFollower, when a follower exists.
+func (s *Server) registerHealthChecks() {
+	s.health.Register("store", s.checkStore)
+	s.health.Register("index", s.checkIndex)
+}
+
+// Health evaluates every registered checker (what /healthz serves).
+func (s *Server) Health() obs.HealthReport { return s.health.Evaluate() }
+
+// checkStore evaluates the durable store: failing on a sticky
+// write/fsync failure or after Close, degraded when checkpointing falls
+// behind. A non-durable Mem store is reported ok with durable=false —
+// running without a data directory is a configuration, not a fault.
+func (s *Server) checkStore() obs.HealthCheck {
+	check := obs.HealthCheck{Component: "store", State: obs.HealthOK}
+	d, ok := s.store.(*store.Disk)
+	if !ok {
+		check.Details = map[string]any{"durable": false}
+		return check
+	}
+	h := d.Health()
+	check.Details = map[string]any{
+		"durable":         true,
+		"fsync":           string(h.Fsync),
+		"walBytes":        h.WALBytes,
+		"generation":      h.Generation,
+		"appendedRecords": h.AppendedSinceCheckpoint,
+		"sinceCheckpoint": h.SinceCheckpoint.Round(time.Second).String(),
+	}
+	if h.Failed != nil {
+		check.State = obs.HealthFailing
+		check.Reasons = append(check.Reasons, fmt.Sprintf("store: sticky write/fsync failure: %v", h.Failed))
+	}
+	if h.Closed {
+		check.State = check.State.Worse(obs.HealthFailing)
+		check.Reasons = append(check.Reasons, "store: closed")
+	}
+	if h.WALBytes > walWarnBytes {
+		check.State = check.State.Worse(obs.HealthDegraded)
+		check.Reasons = append(check.Reasons,
+			fmt.Sprintf("store: wal segment %d bytes exceeds %d (checkpointing behind ingest)", h.WALBytes, int64(walWarnBytes)))
+	}
+	if h.CheckpointInterval > 0 && h.AppendedSinceCheckpoint > 0 &&
+		h.SinceCheckpoint > checkpointLagFactor*h.CheckpointInterval {
+		check.State = check.State.Worse(obs.HealthDegraded)
+		check.Reasons = append(check.Reasons,
+			fmt.Sprintf("store: %s since last checkpoint with %d records pending (interval %s)",
+				h.SinceCheckpoint.Round(time.Second), h.AppendedSinceCheckpoint, h.CheckpointInterval))
+	}
+	return check
+}
+
+// checkIndex evaluates the index: entry count for every kind, plus
+// shard count and balance for the sharded index.
+func (s *Server) checkIndex() obs.HealthCheck {
+	check := obs.HealthCheck{Component: "index", State: obs.HealthOK}
+	idx := s.index()
+	check.Details = map[string]any{
+		"kind":    s.cfg.IndexKind,
+		"entries": idx.Len(),
+	}
+	sh, ok := idx.(*index.Sharded)
+	if !ok {
+		return check
+	}
+	sizes := sh.ShardSizes()
+	check.Details["shards"] = len(sizes)
+	if len(sizes) == 0 {
+		return check
+	}
+	total, largest, largestLabel := 0, 0, ""
+	for label, n := range sizes {
+		total += n
+		if n > largest || (n == largest && label < largestLabel) {
+			largest, largestLabel = n, label
+		}
+	}
+	mean := total / len(sizes)
+	check.Details["largestShard"] = largestLabel
+	check.Details["largestShardEntries"] = largest
+	if largest >= shardImbalanceMin && largest > shardImbalanceFactor*mean {
+		check.State = obs.HealthDegraded
+		check.Reasons = append(check.Reasons,
+			fmt.Sprintf("index: shard %s holds %d entries, %dx the mean %d (fan-out degenerated)",
+				largestLabel, largest, largest/max(mean, 1), mean))
+	}
+	return check
+}
+
+// registerReplicaCheck installs the replica checker once a follower is
+// attached. Bootstrap-looping detection keeps the last observed
+// bootstrap count and when it last changed, in the closure.
+func (s *Server) registerReplicaCheck(f *replica.Follower) {
+	lagWarn := s.cfg.ReplicaLagWarnBytes
+	if lagWarn == 0 {
+		lagWarn = defaultReplicaLagWarnBytes
+	}
+	type bootMark struct {
+		count int64
+		at    time.Time
+	}
+	var (
+		marks []bootMark // bootstrap-count changes inside the window
+	)
+	s.health.Register("replica", func() obs.HealthCheck {
+		check := obs.HealthCheck{Component: "replica", State: obs.HealthOK}
+		st := f.Status()
+		check.Details = map[string]any{
+			"state":      st.State,
+			"lagBytes":   st.LagBytes,
+			"caughtUp":   st.CaughtUp,
+			"bootstraps": st.Bootstraps,
+			"leader":     s.cfg.LeaderURL,
+		}
+		if st.LastError != "" {
+			check.Details["lastError"] = st.LastError
+		}
+		now := time.Now()
+		if len(marks) == 0 || marks[len(marks)-1].count != st.Bootstraps {
+			marks = append(marks, bootMark{count: st.Bootstraps, at: now})
+		}
+		for len(marks) > 0 && now.Sub(marks[0].at) > bootstrapLoopWindow {
+			marks = marks[1:]
+		}
+		if len(marks) >= bootstrapLoopCount {
+			check.State = obs.HealthFailing
+			check.Reasons = append(check.Reasons,
+				fmt.Sprintf("replica: %d bootstraps within %s (cannot hold a stable tail)",
+					len(marks), bootstrapLoopWindow))
+		}
+		switch {
+		case st.State == "bootstrapping":
+			check.State = check.State.Worse(obs.HealthDegraded)
+			check.Reasons = append(check.Reasons, "replica: bootstrapping (no applied state yet)")
+		case lagWarn > 0 && st.LagBytes < 0:
+			check.State = check.State.Worse(obs.HealthDegraded)
+			check.Reasons = append(check.Reasons, "replica: a generation behind the leader (lag unknowable)")
+		case lagWarn > 0 && st.LagBytes > lagWarn:
+			check.State = check.State.Worse(obs.HealthDegraded)
+			check.Reasons = append(check.Reasons,
+				fmt.Sprintf("replica: lag %d bytes exceeds %d", st.LagBytes, lagWarn))
+		}
+		return check
+	})
+}
+
+// HealthzResponse is the body of GET /healthz: the evaluated component
+// report plus the liveness basics the endpoint has always carried.
+type HealthzResponse struct {
+	obs.HealthReport
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Segments      int     `json:"segments"`
+	GoVersion     string  `json:"goVersion,omitempty"`
+	BuildRevision string  `json:"buildRevision,omitempty"`
+}
+
+// handleHealthz serves the evaluated component health report. The HTTP
+// status encodes the overall verdict — 200 for ok and degraded (the
+// node still serves), 503 for failing — so a plain status-code probe
+// agrees with the JSON body.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := HealthzResponse{
+		HealthReport:  s.health.Evaluate(),
+		UptimeSeconds: s.reg.UptimeSeconds(),
+		Segments:      s.index().Len(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.GoVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.BuildRevision = kv.Value
+			}
+		}
+	}
+	if resp.State == obs.HealthFailing {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		s.writeJSONBody(w, resp)
+		return
+	}
+	s.respondJSON(w, resp)
+}
+
+// HistoryResponse is the body of GET /debug/history.
+type HistoryResponse struct {
+	Stats  obs.HistoryStats    `json:"stats"`
+	Series []obs.HistorySeries `json:"series"`
+}
+
+// handleHistory serves the metric history rings. Query parameters:
+// metric= substring-matches series names ("" matches all), since=
+// bounds the window (Go duration like "90s", or unix milliseconds), and
+// res= selects "fine" (default) or "coarse".
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	since := time.Time{}
+	if raw := q.Get("since"); raw != "" {
+		if d, err := time.ParseDuration(raw); err == nil {
+			since = time.Now().Add(-d)
+		} else if ms, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			since = time.UnixMilli(ms)
+		} else {
+			httpError(w, http.StatusBadRequest, "since: want a duration (\"90s\") or unix milliseconds, got %q", raw)
+			return
+		}
+	}
+	series := s.history.Query(q.Get("metric"), since, q.Get("res"))
+	if series == nil {
+		series = []obs.HistorySeries{}
+	}
+	s.respondJSON(w, HistoryResponse{Stats: s.history.Stats(), Series: series})
+}

@@ -149,14 +149,54 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %s", resp.Status)
 	}
-	if got := resp.Header.Get("Content-Type"); got != "text/plain; charset=utf-8" {
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
 		t.Fatalf("healthz content-type = %q", got)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	for _, want := range []string{"ok\n", "uptime_seconds ", "segments 0", "go_version "} {
-		if !strings.Contains(string(body), want) {
-			t.Errorf("healthz body missing %q:\n%s", want, body)
+	var hz HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.State != obs.HealthOK {
+		t.Fatalf("healthz state = %q, want ok:\n%+v", hz.State, hz)
+	}
+	if hz.UptimeSeconds < 0 || hz.Segments != 0 || hz.GoVersion == "" {
+		t.Errorf("healthz basics: uptime %v, segments %d, goVersion %q",
+			hz.UptimeSeconds, hz.Segments, hz.GoVersion)
+	}
+	components := map[string]obs.HealthState{}
+	for _, c := range hz.Checks {
+		components[c.Component] = c.State
+	}
+	for _, want := range []string{"store", "index"} {
+		if st, ok := components[want]; !ok || st != obs.HealthOK {
+			t.Errorf("component %q state = %q (present %v), want ok", want, st, ok)
 		}
+	}
+}
+
+// TestRuntimeMetricsExported pins the satellite contract: the
+// runtime/metrics-backed gauges appear on /metrics with live values,
+// independent of the history sampler (which is off in this config).
+func TestRuntimeMetricsExported(t *testing.T) {
+	s := newServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(expo)
+	if v := promValue(t, out, "fovr_go_heap_bytes"); v <= 0 {
+		t.Errorf("fovr_go_heap_bytes = %v, want > 0", v)
+	}
+	if v := promValue(t, out, "fovr_go_goroutines"); v < 1 {
+		t.Errorf("fovr_go_goroutines = %v, want >= 1", v)
+	}
+	// GC may not have run yet; the gauge must exist and be non-negative.
+	if v := promValue(t, out, "fovr_go_gc_pause_ns"); v < 0 {
+		t.Errorf("fovr_go_gc_pause_ns = %v, want >= 0", v)
 	}
 }
 

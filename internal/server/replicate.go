@@ -11,6 +11,7 @@ import (
 	"net/http"
 
 	"fovr/internal/index"
+	"fovr/internal/obs"
 	"fovr/internal/replica"
 )
 
@@ -83,14 +84,21 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 // Register. IDs arrive pre-assigned by the leader; nextID only ratchets
 // past them so a follower promoted to leader never reuses one.
 //
+// trace is the originating leader request's trace ID carried by the WAL
+// record (empty when that request was untraced): the apply is recorded
+// as a follower-side trace naming it as Origin, so /debug/traces here
+// resolves the leader's ID to what this node did with the record, and
+// the re-journaled record keeps the stamp for any downstream reader.
+//
 // There is no compensating removal on insert failure: the follower's
 // recovery from a half-applied record is a re-bootstrap, which replaces
 // the state wholesale.
-func (s *Server) ApplyRegister(entries []index.Entry) error {
+func (s *Server) ApplyRegister(entries []index.Entry, trace string) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	if err := s.store.AppendRegister(entries); err != nil {
+	defer s.keepApplyTrace("apply.register", trace, len(entries))()
+	if err := s.appendRegister(entries, trace); err != nil {
 		return fmt.Errorf("server: journal replicated upload: %w", err)
 	}
 	s.mu.Lock()
@@ -120,11 +128,12 @@ func (s *Server) ApplyRegister(entries []index.Entry) error {
 // unknown locally are skipped without error: the leader journals
 // compensating removals for uploads that never reached its index, and a
 // replay may also straddle a checkpoint that already dropped them.
-func (s *Server) ApplyRemove(ids []uint64) error {
+func (s *Server) ApplyRemove(ids []uint64, trace string) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	if err := s.store.AppendRemove(ids); err != nil {
+	defer s.keepApplyTrace("apply.remove", trace, len(ids))()
+	if err := s.appendRemove(ids, trace); err != nil {
 		return fmt.Errorf("server: journal replicated removal: %w", err)
 	}
 	idx := s.index()
@@ -155,12 +164,37 @@ func (s *Server) ApplyRemove(ids []uint64) error {
 	return nil
 }
 
+// keepApplyTrace records a follower-side apply as a retained trace
+// whose Origin is the leader request's propagated trace ID, stitching
+// the two halves: GET /debug/traces/{leaderID} on this node finds the
+// apply. Untraced records (trace == "") record nothing. Returns the
+// completion to defer around the apply body.
+func (s *Server) keepApplyTrace(op, trace string, items int) func() {
+	if trace == "" {
+		return func() {}
+	}
+	tr := obs.NewQueryTrace(s.applySeq(op))
+	tr.Origin = trace
+	tr.SetQuery(fmt.Sprintf("%s items=%d origin=%s", op, items, trace))
+	return func() {
+		tr.Finish(nil)
+		s.traces.Keep(tr)
+	}
+}
+
+// applySeq mints a follower-local trace id for one applied record.
+func (s *Server) applySeq(op string) string {
+	return fmt.Sprintf("%s-%d", op, s.reqSeq.Add(1))
+}
+
 // AttachFollower exposes a running replication follower's status on
-// /stats (fovserver wires this when started with -replica-of).
+// /stats (fovserver wires this when started with -replica-of) and
+// registers the replica component health check.
 func (s *Server) AttachFollower(f *replica.Follower) {
 	s.mu.Lock()
 	s.follower = f
 	s.mu.Unlock()
+	s.registerReplicaCheck(f)
 }
 
 // replicationStatus returns the attached follower's status, or nil.

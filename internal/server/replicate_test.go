@@ -57,10 +57,10 @@ func TestReadOnlyRejectsTyped(t *testing.T) {
 	if err := s.ApplyRegister([]index.Entry{{
 		ID: 1, Provider: "bob", Rep: rep(center, 0, 0, 5000),
 		Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100},
-	}}); err != nil {
+	}}, ""); err != nil {
 		t.Fatalf("ApplyRegister on replica: %v", err)
 	}
-	if err := s.ApplyRemove([]uint64{1}); err != nil {
+	if err := s.ApplyRemove([]uint64{1}, ""); err != nil {
 		t.Fatalf("ApplyRemove on replica: %v", err)
 	}
 	if err := s.ResetState(nil); err != nil {
@@ -212,13 +212,20 @@ func TestApplyPathsMirrorIngest(t *testing.T) {
 		Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}}
 	e2 := index.Entry{ID: 9, Provider: "alice", Rep: rep(geo.Offset(center, 90, 10), 90, 1000, 6000),
 		Camera: fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100}}
-	if err := s.ApplyRegister([]index.Entry{e1, e2}); err != nil {
+	if err := s.ApplyRegister([]index.Entry{e1, e2}, "lead-tr-1"); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Index().Len(); got != 2 {
 		t.Fatalf("after ApplyRegister index holds %d", got)
 	}
-	if err := s.ApplyRemove([]uint64{7}); err != nil {
+	// A traced apply is retained and resolvable by the originating
+	// leader trace id (stored as Origin on the follower-side trace).
+	if tr := s.Traces().Get("lead-tr-1"); tr == nil {
+		t.Fatal("traced ApplyRegister left no retained trace for the leader id")
+	} else if tr.Origin != "lead-tr-1" {
+		t.Fatalf("apply trace Origin = %q, want lead-tr-1", tr.Origin)
+	}
+	if err := s.ApplyRemove([]uint64{7}, ""); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Index().Len(); got != 1 {
@@ -226,7 +233,7 @@ func TestApplyPathsMirrorIngest(t *testing.T) {
 	}
 	// Unknown ids are skipped without error (leader rollbacks journal
 	// removals for never-inserted ids).
-	if err := s.ApplyRemove([]uint64{12345}); err != nil {
+	if err := s.ApplyRemove([]uint64{12345}, ""); err != nil {
 		t.Fatal(err)
 	}
 

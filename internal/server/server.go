@@ -37,7 +37,6 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -114,6 +113,14 @@ type Config struct {
 	// LeaderURL names the writable leader in read-only rejections and on
 	// /stats.
 	LeaderURL string
+	// History configures the in-process metric history sampler behind
+	// GET /debug/history. The zero value leaves sampling off (no
+	// background goroutine); fovserver enables it by default.
+	History obs.HistoryConfig
+	// ReplicaLagWarnBytes is the replication lag at which the replica
+	// health check degrades. Zero selects 8 MiB; negative disables the
+	// lag check.
+	ReplicaLagWarnBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +198,8 @@ type Server struct {
 	subs    *subscriptions
 	traffic wire.TrafficMeter
 	traces  *obs.TraceStore // tail-sampled query traces (/debug/traces)
+	history *obs.History    // metric history sampler (/debug/history)
+	health  *obs.HealthSet  // component health checkers (/healthz)
 
 	spanInsert obs.SpanTimer // index.insert stage timer, resolved once
 	spanQuery  obs.SpanTimer // query.search stage timer, resolved once
@@ -259,8 +268,22 @@ func New(cfg Config) (*Server, error) {
 	s.spanQuery = s.reg.SpanTimer("query.search")
 	s.rollbacks = s.reg.Counter("fovr_upload_rollbacks_total")
 	s.slowQueries = s.reg.Counter("fovr_slow_queries_total")
+	obs.RegisterRuntimeMetrics(s.reg)
 	s.registerMetrics()
+	s.health = obs.NewHealthSet()
+	s.registerHealthChecks()
+	s.history = obs.NewHistory(s.reg, cfg.History)
+	if cfg.History.Enabled {
+		s.history.Start()
+	}
 	return s, nil
+}
+
+// Close stops the server's background work (the history sampler). It
+// does not close the store — the store's lifetime belongs to whoever
+// opened it.
+func (s *Server) Close() {
+	s.history.Stop()
 }
 
 // registerMetrics installs the live gauges and pass-through counters that
@@ -324,6 +347,14 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // committed — standing queries only ever see entries from committed
 // uploads.
 func (s *Server) Register(u wire.Upload) ([]uint64, error) {
+	return s.RegisterTraced(u, "")
+}
+
+// RegisterTraced is Register with an originating trace ID: the journal
+// record is stamped with it (when the store supports TracedAppender),
+// so a replica applying the shipped record can attribute the apply to
+// this request. Empty trace is exactly Register.
+func (s *Server) RegisterTraced(u wire.Upload, trace string) ([]uint64, error) {
 	if s.cfg.ReadOnly {
 		return nil, s.readOnlyErr("upload")
 	}
@@ -349,7 +380,7 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 	// concurrent ForgetProvider can observe it and journal a removal,
 	// and that removal must not precede this registration in the log —
 	// replaying them out of order would resurrect forgotten entries.
-	if err := s.store.AppendRegister(entries); err != nil {
+	if err := s.appendRegister(entries, trace); err != nil {
 		s.mu.Lock()
 		s.byProvider[u.Provider] -= len(u.Reps)
 		s.mu.Unlock()
@@ -360,7 +391,7 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 		// Compensate the journal entry; replay treats a removal of a
 		// never-inserted id as a no-op, so this is safe even if the
 		// record pair straddles a checkpoint.
-		if serr := s.store.AppendRemove(ids); serr != nil {
+		if serr := s.appendRemove(ids, trace); serr != nil {
 			s.log.Error("journal rollback failed; store may resurrect a rolled-back upload",
 				"provider", u.Provider, "err", serr)
 		}
@@ -377,6 +408,28 @@ func (s *Server) Register(u wire.Upload) ([]uint64, error) {
 		s.subs.offer(s.cfg.Camera, e)
 	}
 	return ids, nil
+}
+
+// appendRegister journals a registration, stamping the originating
+// trace ID into the record when one is present and the store supports
+// it; stores without TracedAppender just don't propagate.
+func (s *Server) appendRegister(entries []index.Entry, trace string) error {
+	if trace != "" {
+		if ta, ok := s.store.(store.TracedAppender); ok {
+			return ta.AppendRegisterTraced(entries, trace)
+		}
+	}
+	return s.store.AppendRegister(entries)
+}
+
+// appendRemove is appendRegister for removal records.
+func (s *Server) appendRemove(ids []uint64, trace string) error {
+	if trace != "" {
+		if ta, ok := s.store.(store.TracedAppender); ok {
+			return ta.AppendRemoveTraced(ids, trace)
+		}
+	}
+	return s.store.AppendRemove(ids)
 }
 
 // Query answers a retrieval request directly (in-process fast path).
@@ -484,6 +537,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/replicate", s.instrument("/replicate", s.handleReplicate))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/debug/history", s.instrument("/debug/history", s.handleHistory))
 	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	// The metric label elides the {id} wildcard: label values share the
 	// metric-name character set, which excludes braces.
@@ -558,10 +612,20 @@ func (s *Server) reqLog(r *http.Request) *slog.Logger {
 	return s.log
 }
 
-// traceID derives a trace id from the request id installed by
-// instrument, so trace and log records correlate; direct handler
+// TraceHeader carries a trace ID across process boundaries: a client
+// stamps its upload with one, the leader journals it into the WAL
+// record, and a follower's apply trace names it as Origin — so
+// /debug/traces on either side resolves the same ID.
+const TraceHeader = "X-Fovr-Trace"
+
+// traceID returns the caller-propagated trace id (TraceHeader) when
+// present; otherwise it derives one from the request id installed by
+// instrument, so trace and log records correlate. Direct handler
 // invocations (tests) fall back to the request sequence.
 func (s *Server) traceID(r *http.Request) string {
+	if id := r.Header.Get(TraceHeader); id != "" && len(id) <= 128 {
+		return id
+	}
 	if id, ok := r.Context().Value(requestIDKey).(uint64); ok {
 		return "q" + strconv.FormatUint(id, 10)
 	}
@@ -575,20 +639,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "ok\nuptime_seconds %.3f\nsegments %d\n", s.reg.UptimeSeconds(), s.index().Len())
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		fmt.Fprintf(w, "go_version %s\n", bi.GoVersion)
-		for _, kv := range bi.Settings {
-			if kv.Key == "vcs.revision" {
-				fmt.Fprintf(w, "build_revision %s\n", kv.Value)
-			}
-		}
-	}
 }
 
 // meterWriter counts bytes into the traffic meter as they stream out,
@@ -631,6 +681,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // UploadResponse acknowledges an upload.
 type UploadResponse struct {
 	IDs []uint64 `json:"ids"`
+	// TraceID names the ingest trace this upload ran under (the
+	// client-propagated TraceHeader value, or a server-minted id).
+	TraceID string `json:"traceID,omitempty"`
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -664,7 +717,23 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ids, err := s.Register(u)
+	// Every upload runs under a trace id — caller-propagated via
+	// TraceHeader or derived from the request id — which is journaled
+	// into the WAL record so a replica's apply can name it. The ingest
+	// trace itself is retained only for propagated ids: those callers
+	// asked to follow the request across processes.
+	trace := s.traceID(r)
+	propagated := r.Header.Get(TraceHeader) != ""
+	var tr *obs.QueryTrace
+	if propagated {
+		tr = obs.NewQueryTrace(trace)
+		tr.SetQuery(fmt.Sprintf("upload provider=%s reps=%d", u.Provider, len(u.Reps)))
+	}
+	ids, err := s.RegisterTraced(u, trace)
+	if propagated {
+		tr.Finish(err)
+		s.traces.Keep(tr)
+	}
 	if err != nil {
 		if errors.Is(err, ErrReadOnly) {
 			s.respondError(w, http.StatusConflict, err)
@@ -673,8 +742,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.reqLog(r).Info("upload", "provider", u.Provider, "reps", len(u.Reps), "bytesIn", len(body))
-	s.respondJSON(w, UploadResponse{IDs: ids})
+	s.reqLog(r).Info("upload", "provider", u.Provider, "reps", len(u.Reps), "bytesIn", len(body), "traceID", trace)
+	s.respondJSON(w, UploadResponse{IDs: ids, TraceID: trace})
 }
 
 // QueryRequest is the body of POST /query.
@@ -901,6 +970,18 @@ func (s *Server) respondJSON(w http.ResponseWriter, v any) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	s.traffic.AddSent(len(data))
+	_, _ = w.Write(data)
+}
+
+// writeJSONBody marshals v onto a response whose status line is already
+// committed (non-200 JSON bodies), so marshal failures can only be
+// swallowed.
+func (s *Server) writeJSONBody(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
 	s.traffic.AddSent(len(data))
 	_, _ = w.Write(data)
 }

@@ -82,6 +82,16 @@ type Store interface {
 	Close() error
 }
 
+// TracedAppender is the optional trace-propagating append surface. A
+// store that implements it stamps the originating request's trace ID
+// into the journaled record, so a replica replaying the log can
+// attribute each apply to the leader request that caused it. Callers
+// type-assert; stores without it simply don't propagate.
+type TracedAppender interface {
+	AppendRegisterTraced(entries []index.Entry, trace string) error
+	AppendRemoveTraced(ids []uint64, trace string) error
+}
+
 // ErrNotDurable is returned by operations that need a data directory
 // from a store that has none.
 var ErrNotDurable = errors.New("store: not durable (no data directory configured)")
@@ -99,6 +109,11 @@ func NewMem() *Mem { return &Mem{} }
 
 func (*Mem) AppendRegister([]index.Entry) error { return nil }
 func (*Mem) AppendRemove([]uint64) error        { return nil }
+
+// Traced appends are equally no-ops: nothing is journaled, so there is
+// nothing to stamp.
+func (*Mem) AppendRegisterTraced([]index.Entry, string) error { return nil }
+func (*Mem) AppendRemoveTraced([]uint64, string) error        { return nil }
 func (*Mem) Entries() []index.Entry             { return nil }
 func (*Mem) Reset([]index.Entry) error          { return nil }
 func (*Mem) Checkpoint() error                  { return ErrNotDurable }
@@ -183,6 +198,7 @@ type Disk struct {
 	appended int64 // records since the last checkpoint
 	failed   error // sticky first write/sync failure
 	closed   bool
+	lastCP   time.Time // last successful checkpoint (or boot)
 	notifyCh chan struct{}     // closed+replaced on append/rotation (log tailing)
 	retired  map[uint64]int64  // final sizes of completed generations (see tail.go)
 
@@ -272,6 +288,9 @@ func Open(opts Options) (*Disk, error) {
 	}
 	d.recoveryDuration = time.Since(start)
 	d.recoveredEntries = len(d.state)
+	// Boot counts as the checkpoint baseline: "checkpoint age" measures
+	// un-checkpointed runtime, not directory age.
+	d.lastCP = time.Now()
 	reg.GaugeFunc("fovr_store_recovery_seconds", func() float64 { return d.recoveryDuration.Seconds() })
 	reg.GaugeFunc("fovr_store_recovered_entries", func() float64 { return float64(d.recoveredEntries) })
 	reg.GaugeFunc("fovr_store_entries", func() float64 {
@@ -458,6 +477,17 @@ func (d *Disk) AppendRemove(ids []uint64) error {
 	return d.append(Record{Op: opRemove, IDs: ids})
 }
 
+// AppendRegisterTraced implements TracedAppender: the register batch is
+// journaled with the originating trace ID stamped into the record.
+func (d *Disk) AppendRegisterTraced(entries []index.Entry, trace string) error {
+	return d.append(Record{Op: opRegister, Entries: entries, Trace: trace})
+}
+
+// AppendRemoveTraced implements TracedAppender.
+func (d *Disk) AppendRemoveTraced(ids []uint64, trace string) error {
+	return d.append(Record{Op: opRemove, IDs: ids, Trace: trace})
+}
+
 // append journals one record and folds it into the state map. The
 // record hits the page cache before the state map changes, and the
 // state map changes before the append is acknowledged — so a nil
@@ -640,6 +670,9 @@ func (d *Disk) checkpointWith(replace []index.Entry, doReplace bool) error {
 
 	// Only now is anything at or below oldGen dead weight.
 	d.removeObsolete(oldGen)
+	d.mu.Lock()
+	d.lastCP = time.Now()
+	d.mu.Unlock()
 	d.checkpoints.Inc()
 	d.cpHist.Observe(time.Since(start).Seconds())
 	d.log.Info("store checkpoint",
@@ -705,6 +738,58 @@ func (d *Disk) fsyncLoop(every time.Duration) {
 			}
 			d.mu.Unlock()
 		}
+	}
+}
+
+// DiskHealth is a point-in-time snapshot of the store's operational
+// condition, consumed by the server's health checker.
+type DiskHealth struct {
+	// Failed is the sticky write/fsync failure, nil when healthy. Once
+	// set, every append fails and durability is gone.
+	Failed error
+	Closed bool
+	// WALBytes is the live segment's size; Generation its number.
+	WALBytes   int64
+	Generation uint64
+	// AppendedSinceCheckpoint counts records journaled since the last
+	// checkpoint; SinceCheckpoint is how long ago that checkpoint (or
+	// boot) was.
+	AppendedSinceCheckpoint int64
+	SinceCheckpoint         time.Duration
+	// CheckpointInterval is the configured background period (<= 0 when
+	// background checkpointing is disabled). Fsync is the sync policy.
+	CheckpointInterval time.Duration
+	Fsync              FsyncPolicy
+}
+
+// Health reports the store's operational condition.
+func (d *Disk) Health() DiskHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskHealth{
+		Failed:                  d.failed,
+		Closed:                  d.closed,
+		WALBytes:                d.walSize,
+		Generation:              d.walGen,
+		AppendedSinceCheckpoint: d.appended,
+		SinceCheckpoint:         time.Since(d.lastCP),
+		CheckpointInterval:      d.opts.CheckpointInterval,
+		Fsync:                   d.opts.Fsync,
+	}
+}
+
+// InjectFault marks the store failed with err, exactly as a real WAL
+// write/fsync failure would — sticky, failing every subsequent append.
+// Fault-injection hook for health/e2e tests and operational drills; a
+// nil err defaults to a generic injected failure.
+func (d *Disk) InjectFault(err error) {
+	if err == nil {
+		err = errors.New("store: injected fault")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed == nil {
+		d.failed = err
 	}
 }
 

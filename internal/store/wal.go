@@ -5,7 +5,8 @@
 //
 // payload:
 //
-//	op u8 (1 = register, 2 = remove) | count uvarint |
+//	op u8 (1 = register, 2 = remove; bit 0x80 = trace follows) |
+//	  [traceLen uvarint | trace bytes, when 0x80 set] | count uvarint |
 //	  register: count entries in snapshot.AppendEntry encoding
 //	  remove:   count ids, uvarint each
 //
@@ -35,6 +36,18 @@ const (
 	opRemove   byte = 2
 )
 
+// flagTrace marks a record carrying an originating trace ID. The flag
+// rides the op byte's high bit so untraced records encode byte-for-byte
+// identically to every earlier WAL version: old logs replay unchanged,
+// and replication (which ships WAL bytes verbatim) is oblivious. A
+// flagged payload inserts `traceLen uvarint | trace bytes` between the
+// op byte and the item count.
+const flagTrace byte = 0x80
+
+// maxTraceBytes bounds a propagated trace ID; anything longer is
+// rejected at append and treated as corruption at decode.
+const maxTraceBytes = 256
+
 // Exported record op codes, for callers that synthesize or inspect WAL
 // frames outside this package (replication tests and tooling).
 const (
@@ -55,11 +68,17 @@ const maxRecordBytes = 64 << 20
 
 
 // Record is one decoded WAL record: a registered entry batch or a
-// removed id set.
+// removed id set, optionally stamped with the trace ID of the request
+// that produced it.
 type Record struct {
 	Op      byte
 	Entries []index.Entry // Op == opRegister
 	IDs     []uint64      // Op == opRemove
+	// Trace is the originating request's trace ID ("" when the request
+	// was untraced). It survives the log so a follower replaying the
+	// record can attribute its apply to the leader request that caused
+	// it.
+	Trace string
 }
 
 // ErrCorrupt reports WAL content that cannot be explained by a torn
@@ -69,12 +88,23 @@ var ErrCorrupt = errors.New("store: wal corrupt")
 
 // appendRecord validates rec and appends its framed encoding to buf.
 func appendRecord(buf *bytes.Buffer, rec Record) error {
+	if len(rec.Trace) > maxTraceBytes {
+		return fmt.Errorf("store: trace id %d bytes exceeds %d", len(rec.Trace), maxTraceBytes)
+	}
 	var payload bytes.Buffer
-	payload.WriteByte(rec.Op)
+	op := rec.Op
+	if rec.Trace != "" {
+		op |= flagTrace
+	}
+	payload.WriteByte(op)
 	var tmp [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
 		payload.Write(tmp[:n])
+	}
+	if rec.Trace != "" {
+		putUvarint(uint64(len(rec.Trace)))
+		payload.WriteString(rec.Trace)
 	}
 	switch rec.Op {
 	case opRegister:
@@ -153,6 +183,18 @@ func decodePayload(payload []byte) (Record, error) {
 	op, err := rd.ReadByte()
 	if err != nil {
 		return rec, errors.New("empty payload")
+	}
+	if op&flagTrace != 0 {
+		op &^= flagTrace
+		tlen, err := binary.ReadUvarint(rd)
+		if err != nil || tlen == 0 || tlen > maxTraceBytes || tlen > uint64(rd.Len()) {
+			return rec, errors.New("bad trace length")
+		}
+		trace := make([]byte, tlen)
+		if _, err := rd.Read(trace); err != nil {
+			return rec, errors.New("short trace")
+		}
+		rec.Trace = string(trace)
 	}
 	rec.Op = op
 	// Every item occupies at least one payload byte, so a count beyond
