@@ -121,6 +121,13 @@ func main() {
 			}
 			return figures.TableShardScaling(n, queries)
 		}},
+		{"contention-overhead", func() *figures.Table {
+			n := 20000
+			if *quick {
+				n = 5000
+			}
+			return figures.TableContentionOverhead(n, queries)
+		}},
 		{"wal-ingest", func() *figures.Table {
 			n := 20000
 			if *quick {

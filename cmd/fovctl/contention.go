@@ -1,0 +1,155 @@
+// The hotspots and contend subcommands: terminal views over the
+// server's contention observatory. hotspots renders the heavy-hitter
+// sketches of /debug/hotspots (where queries concentrate, who uploads
+// most, which time windows absorb ingest); contend renders
+// /debug/contention (per-lock-class sampled wait/hold percentiles plus
+// the windowed mutex/block profile tops). Both follow the top
+// subcommand's shape: -interval between refreshes, -n refresh count,
+// -plain to append frames instead of redrawing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fovr/internal/client"
+	"fovr/internal/obs"
+	"fovr/internal/server"
+)
+
+// runSketchLoop is the shared refresh loop of hotspots and contend.
+func runSketchLoop(args []string, name string, frame func(top int) (string, error)) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	top := fs.Int("top", 10, "entries per section")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	iterations := fs.Int("n", 1, "number of refreshes before exiting (0 = until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing in place (for logs/tests)")
+	_ = fs.Parse(args)
+
+	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		out, err := frame(*top)
+		if err != nil {
+			return err
+		}
+		if !*plain && *iterations != 1 {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Print(out)
+	}
+	return nil
+}
+
+func runHotspots(c *client.Client, args []string) error {
+	return runSketchLoop(args, "hotspots", func(top int) (string, error) {
+		return hotspotsFrame(c, top)
+	})
+}
+
+// hotspotsFrame renders one /debug/hotspots view as a string, so tests
+// can exercise the full fetch+render path without a terminal.
+func hotspotsFrame(c *client.Client, top int) (string, error) {
+	hs, err := c.Hotspots(top)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if !hs.Enabled {
+		fmt.Fprintf(&b, "fovr hotspots — %s: tracking disabled (-hotspots=false)\n", c.BaseURL)
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "fovr hotspots — %s  query cell grid %g°\n", c.BaseURL, hs.CellDegrees)
+	for _, sk := range hs.Sketches {
+		fmt.Fprintf(&b, "\n%s  (total %d, tracking top %d)\n", sk.Name, sk.Total, sk.K)
+		if len(sk.Entries) == 0 {
+			b.WriteString("  (empty)\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-28s %10s %8s %7s\n", "key", "count", "±err", "share")
+		for _, e := range sk.Entries {
+			fmt.Fprintf(&b, "  %-28s %10d %8d %6.1f%%\n", e.Key, e.Count, e.ErrBound, e.SharePct)
+		}
+	}
+	return b.String(), nil
+}
+
+func runContend(c *client.Client, args []string) error {
+	return runSketchLoop(args, "contend", func(top int) (string, error) {
+		return contendFrame(c, top)
+	})
+}
+
+// contendFrame renders one /debug/contention view as a string.
+func contendFrame(c *client.Client, top int) (string, error) {
+	cr, err := c.Contention(top)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fovr contend — %s  lock sampling %s  profilers %s  window %.1fs\n",
+		c.BaseURL, contendRate(cr.LockSampleRate), contendProfilers(cr), cr.WindowSeconds)
+
+	fmt.Fprintf(&b, "\n%-14s %12s %10s %21s %21s\n", "lock class", "acq", "sampled", "wait p50/p99", "hold p50/p99")
+	for _, lc := range cr.Locks {
+		fmt.Fprintf(&b, "%-14s %12d %10d %10s/%-10s %10s/%-10s\n",
+			lc.Class, lc.Acquisitions, lc.Sampled,
+			contendNs(lc.WaitP50Ns), contendNs(lc.WaitP99Ns),
+			contendNs(lc.HoldP50Ns), contendNs(lc.HoldP99Ns))
+	}
+	if len(cr.Locks) == 0 {
+		b.WriteString("  (no lock classes registered)\n")
+	}
+
+	writeSites := func(title string, sites []obs.ContentionSite) {
+		fmt.Fprintf(&b, "\n%s:\n", title)
+		if len(sites) == 0 {
+			b.WriteString("  (no contention in window)\n")
+			return
+		}
+		for i, s := range sites {
+			fmt.Fprintf(&b, "  %2d. %9s  n=%-8d %s  %s:%d\n",
+				i+1, contendNs(float64(s.DelayNanos)), s.Count, s.Function, filepath.Base(s.File), s.Line)
+		}
+	}
+	writeSites("mutex top frames (delay over window)", cr.MutexTop)
+	writeSites("block top frames (delay over window)", cr.BlockTop)
+	return b.String(), nil
+}
+
+func contendRate(n int) string {
+	if n <= 0 {
+		return "off"
+	}
+	return fmt.Sprintf("1/%d", n)
+}
+
+func contendProfilers(cr server.ContentionResponse) string {
+	if !cr.ProfileEnabled {
+		return "off"
+	}
+	return fmt.Sprintf("mutex 1/%d block %s",
+		cr.MutexProfileFraction, contendNs(float64(cr.BlockProfileRateNs)))
+}
+
+// contendNs renders a nanosecond quantity human-readably.
+func contendNs(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

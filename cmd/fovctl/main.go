@@ -15,6 +15,8 @@
 //	fovctl -server http://127.0.0.1:8477 stats
 //	fovctl -server http://127.0.0.1:8479 replication
 //	fovctl -server http://127.0.0.1:8477 top -interval 2s
+//	fovctl -server http://127.0.0.1:8477 hotspots -top 10
+//	fovctl -server http://127.0.0.1:8477 contend -top 10
 //	fovctl -server http://127.0.0.1:8477 health
 //
 // explain runs a query with explain=1 and prints the server's execution
@@ -73,6 +75,10 @@ func main() {
 		err = runReplication(c)
 	case "top":
 		err = runTop(c, args[1:])
+	case "hotspots":
+		err = runHotspots(c, args[1:])
+	case "contend":
+		err = runContend(c, args[1:])
 	case "health":
 		err = runHealth(c)
 	default:
@@ -89,7 +95,7 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|top|health> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|top|hotspots|contend|health> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
   explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
@@ -101,6 +107,8 @@ func usage() {
   stats
   replication
   top      [-interval 2s] [-n 0] [-plain]   live ops dashboard over /debug/history
+  hotspots [-top 10] [-n 1] [-interval 2s] [-plain]   heavy-hitter sketches from /debug/hotspots
+  contend  [-top 10] [-n 1] [-interval 2s] [-plain]   lock wait/hold + profile tops from /debug/contention
   health   evaluated component health from /healthz`)
 	os.Exit(2)
 }

@@ -11,6 +11,7 @@
 //	          [-replica-of http://leader:8477] [-replica-poll 10s]
 //	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
 //	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
+//	          [-profile] [-lock-sample 64] [-hotspots] [-hotspot-k 32]
 //
 // -data-dir makes ingest durable: every upload and removal is journaled
 // to a write-ahead log in the directory before it is acknowledged, the
@@ -58,6 +59,16 @@
 // retention threshold (0 disables slow detection); -trace-sample keeps
 // one in N ordinary queries (0 keeps none). Errored queries are always
 // retained.
+//
+// The contention observatory: -lock-sample times 1 in N acquisitions of
+// the instrumented locks (index shards, id-map stripes, WAL append) into
+// per-class wait/hold histograms, and -profile keeps the runtime
+// mutex/block profilers on so GET /debug/contention can report the top
+// contended frames over each request window (`fovctl contend` renders
+// it). -hotspots maintains Space-Saving top-K sketches of query grid
+// cells, upload providers, and ingest shard windows, served on GET
+// /debug/hotspots (`fovctl hotspots`); -hotspot-k bounds tracked keys
+// per sketch.
 package main
 
 import (
@@ -103,6 +114,10 @@ func main() {
 	replicaPoll := flag.Duration("replica-poll", 10*time.Second, "long-poll wait per replication fetch with -replica-of")
 	replicaLagWarn := flag.Int64("replica-lag-warn", 8<<20, "replication lag in bytes at which /healthz reports the replica degraded")
 	history := flag.Bool("history", true, "sample metric history into in-memory rings served on GET /debug/history (what fovctl top reads)")
+	profile := flag.Bool("profile", false, "keep the runtime mutex/block contention profilers on (feeds GET /debug/contention and /debug/pprof)")
+	lockSample := flag.Int("lock-sample", 64, "time 1 in N lock acquisitions into fovr_lock_wait_ns/fovr_lock_hold_ns (0 disables)")
+	hotspots := flag.Bool("hotspots", true, "track heavy-hitter sketches (query cells, providers, shard windows) on GET /debug/hotspots")
+	hotspotK := flag.Int("hotspot-k", 32, "keys tracked per hotspot sketch with -hotspots")
 	flag.Parse()
 
 	if *replicaOf != "" && *load != "" {
@@ -125,6 +140,16 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		TraceSampleRate:    *traceSample,
 		History:            obs.HistoryConfig{Enabled: *history},
+		HotspotK:           *hotspotK,
+	}
+	if !*hotspots {
+		cfg.HotspotK = -1
+	}
+	obs.SetLockSampleRate(*lockSample)
+	if *profile {
+		// 1-in-5 mutex events, block events over 100µs: cheap enough to
+		// leave on, detailed enough for /debug/contention to name frames.
+		obs.EnableProfiling(5, 100_000)
 	}
 	// Flag value 0 means "off"; the Config zero value means "default",
 	// so translate explicitly.

@@ -157,7 +157,18 @@ type RTree struct {
 	mu    sync.RWMutex
 	tree  *rtree.Tree[Entry]
 	rects map[uint64]rtree.Rect
+	// locks is the lock-wait accounting class for mu; nil (the default)
+	// leaves the tree uninstrumented. Hot paths use the explicit
+	// Start/Acquired/Released pattern instead of defer so the sampling-off
+	// path stays allocation-free.
+	locks *obs.LockClass
 }
+
+// SetLockClass attaches lock-wait accounting to the tree mutex. Every
+// shard of a Sharded index shares one class; the server's plain tree
+// kind gets its own. Call before the index is shared between
+// goroutines.
+func (x *RTree) SetLockClass(lc *obs.LockClass) { x.locks = lc }
 
 // NewRTree returns an empty R-tree index.
 func NewRTree(opts rtree.Options) (*RTree, error) {
@@ -196,8 +207,16 @@ func (x *RTree) Insert(e Entry) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
+	lt := x.locks.Start()
 	x.mu.Lock()
-	defer x.mu.Unlock()
+	lt.Acquired()
+	err := x.insertLocked(e)
+	x.mu.Unlock()
+	lt.Released()
+	return err
+}
+
+func (x *RTree) insertLocked(e Entry) error {
 	if _, dup := x.rects[e.ID]; dup {
 		return fmt.Errorf("index: duplicate id %d", e.ID)
 	}
@@ -221,8 +240,16 @@ func (x *RTree) InsertBatch(entries []Entry) error {
 		}
 		rects[i] = entryRect(e.Rep)
 	}
+	lt := x.locks.Start()
 	x.mu.Lock()
-	defer x.mu.Unlock()
+	lt.Acquired()
+	err := x.insertBatchLocked(entries, rects)
+	x.mu.Unlock()
+	lt.Released()
+	return err
+}
+
+func (x *RTree) insertBatchLocked(entries []Entry, rects []rtree.Rect) error {
 	rollback := func(n int) {
 		for j := 0; j < n; j++ {
 			e := entries[j]
@@ -248,19 +275,30 @@ func (x *RTree) InsertBatch(entries []Entry) error {
 // box lookup returning the hits plus the traversal cost, under a single
 // read-lock acquisition.
 func (x *RTree) searchRectCounted(q rtree.Rect) (out []Entry, nodes, leafs int64) {
+	lt := x.locks.Start()
 	x.mu.RLock()
-	defer x.mu.RUnlock()
+	lt.Acquired()
 	nodes, leafs = x.tree.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
 		out = append(out, e)
 		return true
 	})
+	x.mu.RUnlock()
+	lt.Released()
 	return out, nodes, leafs
 }
 
 // Remove implements Index.
 func (x *RTree) Remove(id uint64) bool {
+	lt := x.locks.Start()
 	x.mu.Lock()
-	defer x.mu.Unlock()
+	lt.Acquired()
+	ok := x.removeLocked(id)
+	x.mu.Unlock()
+	lt.Released()
+	return ok
+}
+
+func (x *RTree) removeLocked(id uint64) bool {
 	r, ok := x.rects[id]
 	if !ok {
 		return false
@@ -276,9 +314,13 @@ func (x *RTree) Remove(id uint64) bool {
 // Search implements Index.
 func (x *RTree) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
 	q := queryRect(r, startMillis, endMillis)
+	lt := x.locks.Start()
 	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.tree.SearchAll(q)
+	lt.Acquired()
+	out := x.tree.SearchAll(q)
+	x.mu.RUnlock()
+	lt.Released()
+	return out
 }
 
 // SearchCtx implements ContextSearcher: when ctx carries a query trace,
@@ -290,13 +332,16 @@ func (x *RTree) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMilli
 		return x.Search(r, startMillis, endMillis)
 	}
 	q := queryRect(r, startMillis, endMillis)
+	lt := x.locks.Start()
 	x.mu.RLock()
+	lt.Acquired()
 	var out []Entry
 	nodes, leafs := x.tree.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
 		out = append(out, e)
 		return true
 	})
 	x.mu.RUnlock()
+	lt.Released()
 	tr.AddIndexVisit(nodes, leafs)
 	return out
 }
@@ -501,14 +546,17 @@ func nearestParams(center geo.Point, maxDistanceMeters float64) (p, w [rtree.Dim
 // the point anyway).
 func (x *RTree) Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
 	p, w, maxDist2 := nearestParams(center, maxDistanceMeters)
+	lt := x.locks.Start()
 	x.mu.RLock()
-	defer x.mu.RUnlock()
+	lt.Acquired()
 	found := x.tree.WeightedNearest(p, w, k, maxDist2, func(r rtree.Rect, e Entry) bool {
 		if e.Rep.EndMillis < startMillis || e.Rep.StartMillis > endMillis {
 			return false
 		}
 		return keep == nil || keep(e)
 	})
+	x.mu.RUnlock()
+	lt.Released()
 	out := make([]Neighbor, len(found))
 	for i, n := range found {
 		out[i] = Neighbor{

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"fovr/internal/geo"
+	"fovr/internal/obs"
+)
+
+// newInstrumentedSharded builds a sharded index with lock-wait classes
+// attached via a fresh registry.
+func newInstrumentedSharded(t *testing.T) (*Sharded, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	x, err := NewSharded(ShardedOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, reg
+}
+
+func TestShardedLockAccounting(t *testing.T) {
+	obs.SetLockSampleRate(1) // time every acquisition
+	defer obs.SetLockSampleRate(0)
+	x, reg := newInstrumentedSharded(t)
+	rng := rand.New(rand.NewSource(7))
+	for id := uint64(1); id <= 200; id++ {
+		if err := x.Insert(randEntry(rng, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := geo.Rect{MinLat: -90, MaxLat: 90, MinLng: -180, MaxLng: 180}
+	for i := 0; i < 20; i++ {
+		x.Search(q, 0, 86_400_000)
+	}
+	shardWait := reg.NsHistogram(`fovr_lock_wait_ns{class="index.shard"}`)
+	stripeWait := reg.NsHistogram(`fovr_lock_wait_ns{class="index.idmap"}`)
+	if shardWait.Count() == 0 {
+		t.Error("no shard lock waits recorded at rate 1")
+	}
+	if stripeWait.Count() == 0 {
+		t.Error("no id-map stripe waits recorded at rate 1")
+	}
+	shardHold := reg.NsHistogram(`fovr_lock_hold_ns{class="index.shard"}`)
+	if shardHold.Count() != shardWait.Count() {
+		t.Errorf("shard holds %d != waits %d", shardHold.Count(), shardWait.Count())
+	}
+}
+
+// TestShardedLockOffNoExtraAllocs pins the acceptance contract on the
+// real query path: with sampling off, the instrumented index allocates
+// exactly as much per search as an uninstrumented one.
+func TestShardedLockOffNoExtraAllocs(t *testing.T) {
+	obs.SetLockSampleRate(0)
+	build := func(reg *obs.Registry) *Sharded {
+		x, err := NewSharded(ShardedOptions{Registry: reg, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for id := uint64(1); id <= 500; id++ {
+			if err := x.Insert(randEntry(rng, id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return x
+	}
+	plain := build(nil)
+	instr := build(obs.NewRegistry())
+	q := geo.Rect{MinLat: 39.9, MaxLat: 40.1, MinLng: 116.2, MaxLng: 116.4}
+	measure := func(x *Sharded) float64 {
+		x.Search(q, 0, 86_400_000) // warm shard set
+		return testing.AllocsPerRun(200, func() {
+			x.Search(q, 0, 86_400_000)
+		})
+	}
+	base, got := measure(plain), measure(instr)
+	if got > base {
+		t.Fatalf("sampling-off instrumented search allocates %.1f/op, uninstrumented %.1f/op", got, base)
+	}
+}

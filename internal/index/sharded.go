@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -127,6 +128,13 @@ type Sharded struct {
 
 	metered atomic.Bool                   // metrics currently registered
 	fanout  atomic.Pointer[obs.Histogram] // per-query fan-out width
+
+	// Lock-wait accounting classes (nil without a registry): every shard
+	// tree mutex shares shardLocks ("index.shard"), every id-map stripe
+	// shares stripeLocks ("index.idmap"). Class-level aggregation keeps
+	// metric cardinality fixed as time shards come and go.
+	shardLocks  *obs.LockClass
+	stripeLocks *obs.LockClass
 }
 
 // NewSharded returns an empty sharded index.
@@ -141,6 +149,10 @@ func NewSharded(opts ShardedOptions) (*Sharded, error) {
 		timeShards: make(map[int64]*shard),
 		spatial:    make([]*shard, o.SpatialShards),
 	}
+	if o.Registry != nil {
+		x.shardLocks = o.Registry.LockClass("index.shard")
+		x.stripeLocks = o.Registry.LockClass("index.idmap")
+	}
 	for i := range x.stripes {
 		x.stripes[i].refs = make(map[uint64]shardRef)
 	}
@@ -149,6 +161,7 @@ func NewSharded(opts ShardedOptions) (*Sharded, error) {
 		if err != nil {
 			return nil, err
 		}
+		rt.SetLockClass(x.shardLocks)
 		x.spatial[i] = &shard{label: fmt.Sprintf("s%d", i), rt: rt}
 	}
 	x.RegisterMetrics()
@@ -271,6 +284,7 @@ func (x *Sharded) shardFor(e Entry) (*shard, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.SetLockClass(x.shardLocks)
 	x.mu.Lock()
 	if existing := x.timeShards[key]; existing != nil {
 		x.mu.Unlock()
@@ -295,8 +309,17 @@ func (x *Sharded) Insert(e Entry) error {
 		return err
 	}
 	st := x.stripe(e.ID)
+	lt := x.stripeLocks.Start()
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	lt.Acquired()
+	err = x.insertStriped(st, sh, e)
+	st.mu.Unlock()
+	lt.Released()
+	return err
+}
+
+// insertStriped is Insert's critical section: runs under st.mu.
+func (x *Sharded) insertStriped(st *idStripe, sh *shard, e Entry) error {
 	if _, dup := st.refs[e.ID]; dup {
 		return fmt.Errorf("index: duplicate id %d", e.ID)
 	}
@@ -332,12 +355,15 @@ func (x *Sharded) InsertBatch(entries []Entry) error {
 	// Phase 1: reserve every id.
 	for i, e := range entries {
 		st := x.stripe(e.ID)
+		lt := x.stripeLocks.Start()
 		st.mu.Lock()
+		lt.Acquired()
 		_, dup := st.refs[e.ID]
 		if !dup {
 			st.refs[e.ID] = shardRef{s: shards[i], pending: true}
 		}
 		st.mu.Unlock()
+		lt.Released()
 		if dup {
 			x.unregister(entries[:i])
 			return fmt.Errorf("index: duplicate id %d", e.ID)
@@ -371,9 +397,12 @@ func (x *Sharded) InsertBatch(entries []Entry) error {
 	// Phase 3: commit the reservations.
 	for i, e := range entries {
 		st := x.stripe(e.ID)
+		lt := x.stripeLocks.Start()
 		st.mu.Lock()
+		lt.Acquired()
 		st.refs[e.ID] = shardRef{s: shards[i]}
 		st.mu.Unlock()
+		lt.Released()
 	}
 	x.count.Add(int64(len(entries)))
 	return nil
@@ -383,17 +412,29 @@ func (x *Sharded) InsertBatch(entries []Entry) error {
 func (x *Sharded) unregister(entries []Entry) {
 	for _, e := range entries {
 		st := x.stripe(e.ID)
+		lt := x.stripeLocks.Start()
 		st.mu.Lock()
+		lt.Acquired()
 		delete(st.refs, e.ID)
 		st.mu.Unlock()
+		lt.Released()
 	}
 }
 
 // Remove implements Index.
 func (x *Sharded) Remove(id uint64) bool {
 	st := x.stripe(id)
+	lt := x.stripeLocks.Start()
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	lt.Acquired()
+	ok := x.removeStriped(st, id)
+	st.mu.Unlock()
+	lt.Released()
+	return ok
+}
+
+// removeStriped is Remove's critical section: runs under st.mu.
+func (x *Sharded) removeStriped(st *idStripe, id uint64) bool {
 	ref, ok := st.refs[id]
 	if !ok || ref.pending {
 		return false
@@ -530,7 +571,17 @@ func (x *Sharded) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMil
 	results := make([][]Entry, len(shards))
 	nodes := make([]int64, len(shards))
 	leafs := make([]int64, len(shards))
+	// pprof.Do allocates, so per-shard labels are only applied while the
+	// contention profilers are on — profiles then attribute samples to
+	// the shard being searched.
+	labeled := obs.ProfilingEnabled()
 	x.fanOut(len(shards), func(i int) {
+		if labeled {
+			pprof.Do(ctx, pprof.Labels("shard", shards[i].label), func(context.Context) {
+				results[i], nodes[i], leafs[i] = shards[i].rt.searchRectCounted(q)
+			})
+			return
+		}
 		results[i], nodes[i], leafs[i] = shards[i].rt.searchRectCounted(q)
 	})
 	total := 0

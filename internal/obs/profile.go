@@ -1,0 +1,252 @@
+// Always-on profile capture: the runtime's mutex and block profilers
+// enabled at bounded cost (fovserver -profile), diffed over a window by
+// ProfileDelta into parsed top-N contended frames — what GET
+// /debug/contention serves as JSON, no pprof tooling required — plus
+// the pprof label helpers that name long-lived worker goroutines and
+// request classes in raw profiles.
+package obs
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	profMutexFraction atomic.Int64
+	profBlockRateNs   atomic.Int64
+)
+
+// EnableProfiling turns on the runtime's contention profilers:
+// 1-in-mutexFraction contended mutex events and one block event per
+// blockRateNs nanoseconds blocked are sampled. Both are process-wide.
+// The recommended always-on setting (fovserver -profile) is fraction 5
+// and 100µs — bounded cost even under saturation.
+func EnableProfiling(mutexFraction, blockRateNs int) {
+	if mutexFraction < 0 {
+		mutexFraction = 0
+	}
+	if blockRateNs < 0 {
+		blockRateNs = 0
+	}
+	runtime.SetMutexProfileFraction(mutexFraction)
+	runtime.SetBlockProfileRate(blockRateNs)
+	profMutexFraction.Store(int64(mutexFraction))
+	profBlockRateNs.Store(int64(blockRateNs))
+}
+
+// DisableProfiling turns both contention profilers off.
+func DisableProfiling() { EnableProfiling(0, 0) }
+
+// ProfilingEnabled reports whether either contention profiler is on.
+// Hot paths gate their pprof label application on it: pprof.Do
+// allocates, and labels are only useful while profiles are collected.
+func ProfilingEnabled() bool {
+	return profMutexFraction.Load() > 0 || profBlockRateNs.Load() > 0
+}
+
+// ProfileRates returns the configured (mutexFraction, blockRateNs).
+func ProfileRates() (mutexFraction, blockRateNs int) {
+	return int(profMutexFraction.Load()), int(profBlockRateNs.Load())
+}
+
+// LabelWorker runs fn with a pprof "worker" label naming the goroutine,
+// so goroutine dumps and CPU profiles attribute long-lived background
+// loops (replica follower, store checkpoint/fsync) by role. Blocks
+// until fn returns; launch with `go LabelWorker(...)`.
+func LabelWorker(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("worker", name), func(context.Context) { fn() })
+}
+
+// ContentionSite is one aggregated profile frame: the first non-runtime
+// frame of a contention stack, with the event count and cycle total
+// accumulated over the snapshot window.
+type ContentionSite struct {
+	// Function, File, Line locate the frame that released (mutex
+	// profile) or blocked on (block profile) the synchronization point.
+	Function string `json:"function"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	// Count is contention events in the window (scaled up by the
+	// configured sampling fraction by the runtime).
+	Count int64 `json:"count"`
+	// DelayNanos approximates the total delay behind this frame in the
+	// window, converted from cycles; 0 when the cycles-per-second rate
+	// could not be determined.
+	DelayNanos int64 `json:"delayNanos"`
+	// Cycles is the raw cycle total the runtime recorded.
+	Cycles int64 `json:"cycles"`
+}
+
+type profKey struct {
+	fn   string
+	file string
+	line int
+}
+
+type profCum struct {
+	count  int64
+	cycles int64
+}
+
+// ProfileDelta diffs the runtime's cumulative mutex/block profiles
+// between calls, yielding per-window top-N contended frames instead of
+// since-process-start totals. One instance per server; each Top call
+// advances the window.
+type ProfileDelta struct {
+	mu        sync.Mutex
+	prevMutex map[profKey]profCum
+	prevBlock map[profKey]profCum
+	prevAt    time.Time
+}
+
+// NewProfileDelta returns a snapshotter whose first Top call reports
+// since profiling was enabled.
+func NewProfileDelta() *ProfileDelta { return &ProfileDelta{} }
+
+// Top snapshots both contention profiles, diffs them against the
+// previous call, and returns the top-n frames of each by cycle delta,
+// plus the window the delta covers (zero on the first call: the window
+// is "since profiling started").
+func (p *ProfileDelta) Top(n int) (mutexTop, blockTop []ContentionSite, window time.Duration) {
+	if n <= 0 {
+		n = 10
+	}
+	curMutex := collectProfile(runtime.MutexProfile)
+	curBlock := collectProfile(runtime.BlockProfile)
+	now := time.Now()
+	p.mu.Lock()
+	if !p.prevAt.IsZero() {
+		window = now.Sub(p.prevAt)
+	}
+	mutexTop = topDelta(curMutex, p.prevMutex, n)
+	blockTop = topDelta(curBlock, p.prevBlock, n)
+	p.prevMutex, p.prevBlock, p.prevAt = curMutex, curBlock, now
+	p.mu.Unlock()
+	return mutexTop, blockTop, window
+}
+
+// collectProfile drains one runtime profile into per-frame cumulative
+// totals, aggregating stacks by their first non-runtime frame.
+func collectProfile(prof func([]runtime.BlockProfileRecord) (int, bool)) map[profKey]profCum {
+	recs := make([]runtime.BlockProfileRecord, 64)
+	for {
+		n, ok := prof(recs)
+		if ok {
+			recs = recs[:n]
+			break
+		}
+		recs = make([]runtime.BlockProfileRecord, len(recs)*2)
+	}
+	agg := make(map[profKey]profCum, len(recs))
+	for _, r := range recs {
+		k := siteOf(r.Stack())
+		c := agg[k]
+		c.count += r.Count
+		c.cycles += r.Cycles
+		agg[k] = c
+	}
+	return agg
+}
+
+// siteOf resolves a contention stack to the first frame outside the
+// runtime and sync packages — the application code that took the lock.
+func siteOf(stk []uintptr) profKey {
+	if len(stk) == 0 {
+		return profKey{fn: "unknown"}
+	}
+	frames := runtime.CallersFrames(stk)
+	var first profKey
+	haveFirst := false
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			if !haveFirst {
+				first = profKey{fn: f.Function, file: f.File, line: f.Line}
+				haveFirst = true
+			}
+			if !strings.HasPrefix(f.Function, "runtime.") &&
+				!strings.HasPrefix(f.Function, "sync.") &&
+				!strings.HasPrefix(f.Function, "runtime/") {
+				return profKey{fn: f.Function, file: f.File, line: f.Line}
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	if haveFirst {
+		return first
+	}
+	return profKey{fn: "unknown"}
+}
+
+// topDelta subtracts prev from cur per frame and returns the n largest
+// positive deltas by cycles (count breaking ties).
+func topDelta(cur, prev map[profKey]profCum, n int) []ContentionSite {
+	perNs := cyclesPerNano()
+	out := make([]ContentionSite, 0, len(cur))
+	for k, c := range cur {
+		d := profCum{count: c.count - prev[k].count, cycles: c.cycles - prev[k].cycles}
+		if d.count <= 0 && d.cycles <= 0 {
+			continue
+		}
+		site := ContentionSite{
+			Function: k.fn, File: k.file, Line: k.line,
+			Count: d.count, Cycles: d.cycles,
+		}
+		if perNs > 0 {
+			site.DelayNanos = int64(float64(d.cycles) / perNs)
+		}
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Count > out[j].Count
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+var (
+	cyclesPerNanoOnce sync.Once
+	cyclesPerNanoVal  float64
+)
+
+// cyclesPerNano derives the profile clock's cycles-per-nanosecond rate
+// from the pprof text header ("cycles/second=N"), which the runtime
+// does not export directly. Determined once; 0 when unparseable.
+func cyclesPerNano() float64 {
+	cyclesPerNanoOnce.Do(func() {
+		var b strings.Builder
+		if p := pprof.Lookup("mutex"); p != nil {
+			_ = p.WriteTo(&b, 1)
+		}
+		const marker = "cycles/second="
+		s := b.String()
+		i := strings.Index(s, marker)
+		if i < 0 {
+			return
+		}
+		s = s[i+len(marker):]
+		end := 0
+		for end < len(s) && s[end] >= '0' && s[end] <= '9' {
+			end++
+		}
+		var cps float64
+		for _, c := range s[:end] {
+			cps = cps*10 + float64(c-'0')
+		}
+		cyclesPerNanoVal = cps / 1e9
+	})
+	return cyclesPerNanoVal
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// contend forces deterministic mutex contention: each round parks a
+// waiter on a held mutex before unlocking, so the unlock records a
+// profile event regardless of GOMAXPROCS.
+func contend(rounds int) {
+	var mu sync.Mutex
+	for i := 0; i < rounds; i++ {
+		mu.Lock()
+		ready := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			close(ready)
+			mu.Lock()
+			mu.Unlock()
+			close(done)
+		}()
+		<-ready
+		time.Sleep(time.Millisecond) // let the waiter park on the mutex
+		mu.Unlock()                  // records the contention event
+		<-done
+	}
+}
+
+func TestProfileDeltaCapturesMutexContention(t *testing.T) {
+	EnableProfiling(1, 1000) // sample every contended mutex event
+	defer DisableProfiling()
+	if !ProfilingEnabled() {
+		t.Fatal("ProfilingEnabled false after EnableProfiling")
+	}
+	if mf, br := ProfileRates(); mf != 1 || br != 1000 {
+		t.Fatalf("ProfileRates = (%d, %d), want (1, 1000)", mf, br)
+	}
+
+	pd := NewProfileDelta()
+	// First call establishes the baseline; window is "since start".
+	_, _, window := pd.Top(5)
+	if window != 0 {
+		t.Fatalf("first window = %v, want 0", window)
+	}
+
+	contend(20)
+
+	mutexTop, _, window := pd.Top(5)
+	if window <= 0 {
+		t.Fatalf("second window = %v, want > 0", window)
+	}
+	if len(mutexTop) == 0 {
+		t.Fatal("no mutex contention frames after saturating one mutex")
+	}
+	for _, site := range mutexTop {
+		if site.Function == "" {
+			t.Fatalf("frame with empty function: %+v", site)
+		}
+		if site.Count <= 0 && site.Cycles <= 0 {
+			t.Fatalf("frame with no delta survived: %+v", site)
+		}
+	}
+	// Frames resolve past runtime/sync internals to caller code: the
+	// recorded stack starts at sync.(*Mutex).Unlock and siteOf must skip
+	// to the contend frame that called it.
+	const wantFn = "fovr/internal/obs.contend"
+	found := false
+	for _, site := range mutexTop {
+		if site.Function == wantFn {
+			found = true
+			if site.Count < 20 {
+				t.Errorf("contend frame count %d, want >= 20", site.Count)
+			}
+			if site.DelayNanos <= 0 {
+				t.Errorf("contend frame has DelayNanos %d, want > 0", site.DelayNanos)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("contend frame %s not in mutex top: %+v", wantFn, mutexTop)
+	}
+
+	// A quiet window diffs back to nothing for our mutex.
+	quietTop, _, _ := pd.Top(5)
+	for _, site := range quietTop {
+		if site.Function == wantFn && site.Count > 0 {
+			t.Errorf("quiet window still charges contend: %+v", site)
+		}
+	}
+}
+
+func TestLabelWorkerRunsFn(t *testing.T) {
+	ran := false
+	LabelWorker("test.worker", func() { ran = true })
+	if !ran {
+		t.Fatal("LabelWorker did not run fn")
+	}
+}

@@ -1,0 +1,168 @@
+// Heavy-hitter tracking: a Space-Saving top-K sketch (Metwally,
+// Agrawal & El Abbadi, "Efficient computation of frequent and top-k
+// elements in data streams") over a bounded entry set. The server feeds
+// one sketch from the query path (query-box grid cells) and two from
+// the ingest path (provider ids, shard window keys); /debug/hotspots
+// serves the contents.
+//
+// Guarantees, with k entries over N total offered weight:
+//
+//   - every entry's Count is an upper bound on its true count, and
+//     Count - Err is a lower bound (Err is the evicted minimum the key
+//     inherited when it entered);
+//   - any key whose true count exceeds N/k is guaranteed to be present.
+//
+// Memory is fixed at k entries; an offer is O(log k) (min-heap sift)
+// under one mutex and allocates only when a previously unseen key
+// enters the sketch.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopKEntry is one tracked heavy hitter.
+type TopKEntry[K comparable] struct {
+	Key K
+	// Count is the estimated count: an upper bound on the key's true
+	// offered weight.
+	Count int64
+	// Err bounds the overestimate: true count >= Count - Err. Zero for
+	// keys that entered an unfilled sketch (their count is exact).
+	Err int64
+}
+
+// TopK is a Space-Saving sketch tracking the k heaviest keys of a
+// stream. Construct with NewTopK; safe for concurrent use.
+type TopK[K comparable] struct {
+	mu    sync.Mutex
+	k     int
+	heap  []TopKEntry[K] // min-heap on Count
+	pos   map[K]int      // key -> heap index
+	total int64          // total offered weight
+}
+
+// NewTopK returns a sketch tracking up to k keys. k < 1 selects 1.
+func NewTopK[K comparable](k int) *TopK[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[K]{
+		k:    k,
+		heap: make([]TopKEntry[K], 0, k),
+		pos:  make(map[K]int, k),
+	}
+}
+
+// K returns the sketch capacity.
+func (t *TopK[K]) K() int { return t.k }
+
+// Total returns the total weight offered so far.
+func (t *TopK[K]) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Offer adds n occurrences of key. n <= 0 is ignored. When the sketch
+// is full and the key is new, the current minimum is evicted and the
+// key inherits its count as error bound — the Space-Saving step.
+func (t *TopK[K]) Offer(key K, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total += n
+	if i, ok := t.pos[key]; ok {
+		t.heap[i].Count += n
+		t.siftDown(i)
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, TopKEntry[K]{Key: key, Count: n})
+		t.pos[key] = len(t.heap) - 1
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	// Evict the minimum: the newcomer may have occurred up to that many
+	// times while untracked, so it inherits the evicted count as floor
+	// and error bound.
+	evicted := t.heap[0]
+	delete(t.pos, evicted.Key)
+	t.heap[0] = TopKEntry[K]{Key: key, Count: evicted.Count + n, Err: evicted.Count}
+	t.pos[key] = 0
+	t.siftDown(0)
+}
+
+// Items returns the tracked entries, heaviest first (ties broken
+// arbitrarily). The slice is a copy.
+func (t *TopK[K]) Items() []TopKEntry[K] {
+	t.mu.Lock()
+	out := make([]TopKEntry[K], len(t.heap))
+	copy(out, t.heap)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Top returns the heaviest entry and whether the sketch is non-empty.
+func (t *TopK[K]) Top() (TopKEntry[K], bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.heap) == 0 {
+		return TopKEntry[K]{}, false
+	}
+	best := t.heap[0]
+	for _, e := range t.heap[1:] {
+		if e.Count > best.Count {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// Len returns the number of tracked keys (<= k).
+func (t *TopK[K]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.heap)
+}
+
+// siftUp restores the min-heap upward from i, keeping pos in sync.
+func (t *TopK[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Count <= t.heap[i].Count {
+			return
+		}
+		t.swap(parent, i)
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap downward from i, keeping pos in sync.
+func (t *TopK[K]) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && t.heap[l].Count < t.heap[least].Count {
+			least = l
+		}
+		if r := 2*i + 2; r < n && t.heap[r].Count < t.heap[least].Count {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		t.swap(least, i)
+		i = least
+	}
+}
+
+func (t *TopK[K]) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].Key] = i
+	t.pos[t.heap[j].Key] = j
+}

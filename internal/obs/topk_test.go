@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestTopKZipfDifferential drives the sketch with a Zipfian stream and
+// checks every Space-Saving guarantee against exact counts: estimates
+// are upper bounds, Count-Err is a lower bound, and every key heavier
+// than total/k is tracked.
+func TestTopKZipfDifferential(t *testing.T) {
+	const k = 64
+	sk := NewTopK[uint64](k)
+	exact := make(map[uint64]int64)
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, 10_000)
+	total := int64(0)
+	for i := 0; i < 200_000; i++ {
+		key := zipf.Uint64()
+		sk.Offer(key, 1)
+		exact[key]++
+		total++
+	}
+	if got := sk.Total(); got != total {
+		t.Fatalf("Total = %d, want %d", got, total)
+	}
+	items := sk.Items()
+	if len(items) != k {
+		t.Fatalf("sketch holds %d keys, want %d (stream has %d distinct)", len(items), k, len(exact))
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Count > items[i-1].Count {
+			t.Fatalf("Items not sorted descending at %d: %d > %d", i, items[i].Count, items[i-1].Count)
+		}
+	}
+	tracked := make(map[uint64]TopKEntry[uint64], len(items))
+	for _, e := range items {
+		tracked[e.Key] = e
+		truth := exact[e.Key]
+		if e.Count < truth {
+			t.Errorf("key %d: estimate %d below true count %d (must be upper bound)", e.Key, e.Count, truth)
+		}
+		if e.Count-e.Err > truth {
+			t.Errorf("key %d: Count-Err %d above true count %d (must be lower bound)", e.Key, e.Count-e.Err, truth)
+		}
+	}
+	// Guaranteed presence: true count > total/k cannot have been evicted.
+	threshold := total / k
+	for key, n := range exact {
+		if n > threshold {
+			if _, ok := tracked[key]; !ok {
+				t.Errorf("heavy key %d (count %d > %d) missing from sketch", key, n, threshold)
+			}
+		}
+	}
+	// The Zipf head must come out on top.
+	top, ok := sk.Top()
+	if !ok {
+		t.Fatal("Top on non-empty sketch")
+	}
+	bestKey, bestN := uint64(0), int64(-1)
+	for key, n := range exact {
+		if n > bestN {
+			bestKey, bestN = key, n
+		}
+	}
+	if top.Key != bestKey {
+		t.Errorf("Top = key %d (est %d), exact heaviest is %d (count %d)", top.Key, top.Count, bestKey, bestN)
+	}
+}
+
+// TestTopKEvictionOrder pins the Space-Saving eviction step: a full
+// sketch always evicts its current minimum, and the newcomer inherits
+// that minimum as floor and error bound.
+func TestTopKEvictionOrder(t *testing.T) {
+	sk := NewTopK[string](3)
+	sk.Offer("a", 10)
+	sk.Offer("b", 5)
+	sk.Offer("c", 2)
+
+	// Unfilled entries are exact.
+	for _, e := range sk.Items() {
+		if e.Err != 0 {
+			t.Fatalf("pre-eviction entry %q has Err %d, want 0", e.Key, e.Err)
+		}
+	}
+
+	// "d" evicts "c" (the minimum), inheriting count 2 as error.
+	sk.Offer("d", 1)
+	items := sk.Items()
+	got := map[string]TopKEntry[string]{}
+	for _, e := range items {
+		got[e.Key] = e
+	}
+	if _, stillThere := got["c"]; stillThere {
+		t.Fatal("minimum key c not evicted")
+	}
+	d, ok := got["d"]
+	if !ok {
+		t.Fatal("newcomer d not tracked")
+	}
+	if d.Count != 3 || d.Err != 2 {
+		t.Fatalf("d = {Count: %d, Err: %d}, want {3, 2}", d.Count, d.Err)
+	}
+
+	// The next eviction removes d (count 3, now the minimum), not b.
+	sk.Offer("e", 1)
+	got = map[string]TopKEntry[string]{}
+	for _, e := range sk.Items() {
+		got[e.Key] = e
+	}
+	if _, stillThere := got["d"]; stillThere {
+		t.Fatal("new minimum d not evicted on next insertion")
+	}
+	e := got["e"]
+	if e.Count != 4 || e.Err != 3 {
+		t.Fatalf("e = {Count: %d, Err: %d}, want {4, 3}", e.Count, e.Err)
+	}
+	if b := got["b"]; b.Count != 5 || b.Err != 0 {
+		t.Fatalf("survivor b disturbed: %+v", b)
+	}
+	if total := sk.Total(); total != 19 {
+		t.Fatalf("Total = %d, want 19", total)
+	}
+}
+
+// TestTopKConcurrent stress-tests concurrent offers and reads; run
+// under -race (CI does) it doubles as the data-race check.
+func TestTopKConcurrent(t *testing.T) {
+	sk := NewTopK[int](16)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 5000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				sk.Offer(rng.Intn(64), 1)
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			sk.Items()
+			sk.Top()
+			sk.Len()
+			sk.Total()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := sk.Total(); got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+	if got := sk.Len(); got != 16 {
+		t.Fatalf("Len = %d, want 16", got)
+	}
+}
+
+// TestTopKSteadyStateNoAlloc pins that offering an already-tracked key
+// allocates nothing — the property that lets the query hot path feed
+// the sketch.
+func TestTopKSteadyStateNoAlloc(t *testing.T) {
+	sk := NewTopK[uint64](8)
+	for i := uint64(0); i < 8; i++ {
+		sk.Offer(i, int64(i)+1)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sk.Offer(3, 1)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Offer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkTopKOffer(b *testing.B) {
+	sk := NewTopK[uint64](32)
+	for i := 0; i < b.N; i++ {
+		sk.Offer(uint64(i%64), 1)
+	}
+	_ = fmt.Sprint(sk.Len())
+}

@@ -137,7 +137,7 @@ func Start(opts Options) (*Follower, error) {
 		return 0
 	})
 	f.wg.Add(1)
-	go f.run()
+	go obs.LabelWorker("replica.follower", f.run)
 	return f, nil
 }
 

@@ -121,6 +121,13 @@ type Config struct {
 	// health check degrades. Zero selects 8 MiB; negative disables the
 	// lag check.
 	ReplicaLagWarnBytes int64
+	// HotspotK sizes the heavy-hitter sketches behind GET
+	// /debug/hotspots (query grid cells, providers, shard windows).
+	// Zero selects 32; negative disables hotspot tracking.
+	HotspotK int
+	// HotspotCellDegrees is the grid cell size the query-cell sketch
+	// buckets query centers into. Zero selects 0.01° (~1.1 km).
+	HotspotCellDegrees float64
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Store == nil {
 		c.Store = store.NewMem()
+	}
+	if c.HotspotK == 0 {
+		c.HotspotK = 32
 	}
 	return c
 }
@@ -178,6 +188,16 @@ func (c Config) loadIndex(entries []index.Entry) (index.ServerIndex, error) {
 	}
 }
 
+// attachLockClass instruments a plain-RTree index's mutex with the
+// "index.tree" lock class (a Sharded index wires its own "index.shard"
+// and "index.idmap" classes in NewSharded). Called before the index is
+// shared between goroutines.
+func (c Config) attachLockClass(idx index.ServerIndex) {
+	if rt, ok := idx.(*index.RTree); ok {
+		rt.SetLockClass(c.Registry.LockClass("index.tree"))
+	}
+}
+
 func (c Config) shardedOptions() index.ShardedOptions {
 	return index.ShardedOptions{
 		WindowMillis: c.ShardWindow.Milliseconds(),
@@ -200,6 +220,9 @@ type Server struct {
 	traces  *obs.TraceStore // tail-sampled query traces (/debug/traces)
 	history *obs.History    // metric history sampler (/debug/history)
 	health  *obs.HealthSet  // component health checkers (/healthz)
+
+	hotspots   *hotspotSet       // heavy-hitter sketches (/debug/hotspots); nil when disabled
+	contention *obs.ProfileDelta // mutex/block profile snapshotter (/debug/contention)
 
 	spanInsert obs.SpanTimer // index.insert stage timer, resolved once
 	spanQuery  obs.SpanTimer // query.search stage timer, resolved once
@@ -238,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.attachLockClass(idx)
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(nopHandler{})
@@ -268,6 +292,11 @@ func New(cfg Config) (*Server, error) {
 	s.spanQuery = s.reg.SpanTimer("query.search")
 	s.rollbacks = s.reg.Counter("fovr_upload_rollbacks_total")
 	s.slowQueries = s.reg.Counter("fovr_slow_queries_total")
+	s.contention = obs.NewProfileDelta()
+	if cfg.HotspotK > 0 {
+		s.hotspots = newHotspotSet(cfg.HotspotK, cfg.HotspotCellDegrees, cfg.shardedOptions().WindowMillis)
+		s.registerHotspotMetrics()
+	}
 	obs.RegisterRuntimeMetrics(s.reg)
 	s.registerMetrics()
 	s.health = obs.NewHealthSet()
@@ -401,6 +430,9 @@ func (s *Server) RegisterTraced(u wire.Upload, trace string) ([]uint64, error) {
 		s.rollbacks.Inc()
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if s.hotspots != nil {
+		s.hotspots.observeUpload(u.Provider, entries)
+	}
 	// Notify standing queries only once the whole upload has committed;
 	// offering entry-by-entry would leak rolled-back entries to
 	// subscribers when a later representative fails.
@@ -443,6 +475,9 @@ func (s *Server) Query(q query.Query, maxResults int) ([]query.Ranked, error) {
 func (s *Server) QueryCtx(ctx context.Context, q query.Query, maxResults int) ([]query.Ranked, error) {
 	if maxResults <= 0 {
 		maxResults = s.cfg.DefaultMaxResults
+	}
+	if s.hotspots != nil {
+		s.hotspots.observeQuery(q)
 	}
 	sp := s.spanQuery.Start()
 	defer sp.End()
@@ -492,6 +527,7 @@ func (s *Server) ResetState(entries []index.Entry) error {
 		}
 		return err
 	}
+	s.cfg.attachLockClass(idx)
 	// The restored state replaces the journaled history wholesale; a
 	// durable store checkpoints it immediately so the data directory
 	// reflects the snapshot, not a log of a superseded past.
@@ -538,6 +574,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/debug/history", s.instrument("/debug/history", s.handleHistory))
+	mux.HandleFunc("/debug/contention", s.instrument("/debug/contention", s.handleContention))
+	mux.HandleFunc("/debug/hotspots", s.instrument("/debug/hotspots", s.handleHotspots))
 	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	// The metric label elides the {id} wildcard: label values share the
 	// metric-name character set, which excludes braces.
@@ -586,7 +624,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		ctx := context.WithValue(r.Context(), requestLoggerKey, reqLog)
 		ctx = context.WithValue(ctx, requestIDKey, id)
-		h(sw, r.WithContext(ctx))
+		serveLabeled(endpoint, h, sw, r.WithContext(ctx))
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}

@@ -221,6 +221,7 @@ type Disk struct {
 	checkpoints *obs.Counter
 	cpErrors    *obs.Counter
 	cpHist      *obs.Histogram
+	lockClass   *obs.LockClass // "store.wal": lock-wait accounting on d.mu's append path
 }
 
 func walName(gen uint64) string        { return fmt.Sprintf("wal-%012d.log", gen) }
@@ -281,6 +282,7 @@ func Open(opts Options) (*Disk, error) {
 	d.checkpoints = reg.Counter("fovr_store_checkpoints_total")
 	d.cpErrors = reg.Counter("fovr_store_checkpoint_errors_total")
 	d.cpHist = reg.Histogram("fovr_store_checkpoint_seconds")
+	d.lockClass = reg.LockClass("store.wal")
 
 	start := time.Now()
 	if err := d.recover(); err != nil {
@@ -328,11 +330,11 @@ func Open(opts Options) (*Disk, error) {
 
 	if opts.CheckpointInterval > 0 {
 		d.wg.Add(1)
-		go d.checkpointLoop(opts.CheckpointInterval)
+		go obs.LabelWorker("store.checkpoint", func() { d.checkpointLoop(opts.CheckpointInterval) })
 	}
 	if opts.Fsync == FsyncInterval {
 		d.wg.Add(1)
-		go d.fsyncLoop(opts.FsyncEvery)
+		go obs.LabelWorker("store.fsync", func() { d.fsyncLoop(opts.FsyncEvery) })
 	}
 	return d, nil
 }
@@ -497,8 +499,17 @@ func (d *Disk) append(rec Record) error {
 	if err := appendRecord(&buf, rec); err != nil {
 		return err // validation failure: nothing recorded
 	}
+	lt := d.lockClass.Start()
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	lt.Acquired()
+	err := d.appendLocked(rec, &buf)
+	d.mu.Unlock()
+	lt.Released()
+	return err
+}
+
+// appendLocked is append's critical section: runs under d.mu.
+func (d *Disk) appendLocked(rec Record, buf *bytes.Buffer) error {
 	if d.closed {
 		return ErrClosed
 	}
