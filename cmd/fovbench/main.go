@@ -128,6 +128,13 @@ func main() {
 			}
 			return figures.TableContentionOverhead(n, queries)
 		}},
+		{"read-saturation", func() *figures.Table {
+			n, pool := 20000, 64
+			if *quick {
+				n, pool = 5000, 32
+			}
+			return figures.TableReadSaturation(n, pool)
+		}},
 		{"wal-ingest", func() *figures.Table {
 			n := 20000
 			if *quick {

@@ -12,6 +12,7 @@
 //	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
 //	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
 //	          [-profile] [-lock-sample 64] [-hotspots] [-hotspot-k 32]
+//	          [-read-cache] [-read-cache-size 1024]
 //
 // -data-dir makes ingest durable: every upload and removal is journaled
 // to a write-ahead log in the directory before it is acknowledged, the
@@ -69,6 +70,13 @@
 // cells, upload providers, and ingest shard windows, served on GET
 // /debug/hotspots (`fovctl hotspots`); -hotspot-k bounds tracked keys
 // per sketch.
+//
+// -read-cache puts a hot-cell result cache in front of the index:
+// repeated box searches whose shards have not changed since the cached
+// answer was computed are served from the cache (epoch-validated —
+// a cache hit is always exactly what a fresh search would return).
+// -read-cache-size bounds the cached query boxes; cache behaviour is
+// exported as fovr_readcache_* on /metrics.
 package main
 
 import (
@@ -118,6 +126,8 @@ func main() {
 	lockSample := flag.Int("lock-sample", 64, "time 1 in N lock acquisitions into fovr_lock_wait_ns/fovr_lock_hold_ns (0 disables)")
 	hotspots := flag.Bool("hotspots", true, "track heavy-hitter sketches (query cells, providers, shard windows) on GET /debug/hotspots")
 	hotspotK := flag.Int("hotspot-k", 32, "keys tracked per hotspot sketch with -hotspots")
+	readCache := flag.Bool("read-cache", false, "cache hot-cell query results (epoch-validated; fovr_readcache_* on /metrics)")
+	readCacheSize := flag.Int("read-cache-size", 0, "cached query boxes with -read-cache (0 = default 1024)")
 	flag.Parse()
 
 	if *replicaOf != "" && *load != "" {
@@ -141,6 +151,8 @@ func main() {
 		TraceSampleRate:    *traceSample,
 		History:            obs.HistoryConfig{Enabled: *history},
 		HotspotK:           *hotspotK,
+		ReadCache:          *readCache,
+		ReadCacheCapacity:  *readCacheSize,
 	}
 	if !*hotspots {
 		cfg.HotspotK = -1

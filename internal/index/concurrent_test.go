@@ -1,0 +1,270 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"fovr/internal/geo"
+)
+
+// The concurrent differential suite: N readers against one writer, with
+// no synchronization between them beyond the index under test. Batches
+// insert contiguous id ranges, so every correct read of the full extent
+// is a prefix {1..k*batchSize} — any torn batch, lost entry, or
+// duplicate surfaces as a non-prefix id set; any partially visible
+// InsertBatch surfaces as a count that is not a multiple of the batch
+// size. Reader-observed epochs must be monotonic. Run under -race this
+// also certifies the publication path's memory ordering.
+
+const (
+	concBatches   = 50
+	concBatchSize = 20
+)
+
+// concReadIndex is the slice of ServerIndex the suite needs; the cached
+// wrapper and both index kinds satisfy it.
+type concReadIndex interface {
+	InsertBatch([]Entry) error
+	Remove(uint64) bool
+	Search(geo.Rect, int64, int64) []Entry
+	ReadEpoch() uint64
+	CheckInvariants() error
+}
+
+func concIndexes(t *testing.T) map[string]concReadIndex {
+	t.Helper()
+	sharded, err := NewSharded(ShardedOptions{WindowMillis: 60_000, SpatialShards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedInner, err := NewSharded(ShardedOptions{WindowMillis: 60_000, SpatialShards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewReadCache(cachedInner, ReadCacheOptions{MinCellHits: 1, Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]concReadIndex{
+		"rtree":          newRTree(t),
+		"sharded":        sharded,
+		"sharded-cached": cached,
+	}
+}
+
+// checkPrefix verifies the result is exactly {1..n} for some n and
+// returns n. It returns an error instead of failing so reader
+// goroutines can use it too.
+func checkPrefix(got []Entry) (int, error) {
+	seen := make([]uint64, len(got))
+	for i, e := range got {
+		seen[i] = e.ID
+	}
+	sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	for i, id := range seen {
+		if id != uint64(i+1) {
+			return 0, fmt.Errorf("read is not a prefix of applied batches: position %d holds id %d (%d ids total)", i, id, len(seen))
+		}
+	}
+	return len(seen), nil
+}
+
+func TestConcurrentSnapshotReads(t *testing.T) {
+	full := geo.RectAround(city, 30_000)
+	const tlo, thi = -(1 << 40), 1 << 40
+	for name, idx := range concIndexes(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(321))
+			batches := make([][]Entry, concBatches)
+			nextID := uint64(1)
+			for b := range batches {
+				batch := make([]Entry, concBatchSize)
+				for i := range batch {
+					batch[i] = diffEntry(rng, nextID)
+					nextID++
+				}
+				batches[b] = batch
+			}
+
+			var wg sync.WaitGroup
+			done := make(chan struct{})
+			errs := make(chan error, 8)
+
+			// Writer: apply every batch, then signal.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				for _, b := range batches {
+					if err := idx.InsertBatch(b); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+
+			// Readers: until the writer finishes (plus one final read),
+			// every full-extent read must be a whole-batch prefix, and
+			// both the observed epoch and the visible prefix must be
+			// monotonic per reader — a single serialized writer never
+			// lets a later read see less.
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					var lastEpoch uint64
+					lastN := 0
+					read := func() bool {
+						e1 := idx.ReadEpoch()
+						if e1 < lastEpoch {
+							errs <- fmt.Errorf("reader %d: epoch regressed %d -> %d", r, lastEpoch, e1)
+							return false
+						}
+						got := idx.Search(full, tlo, thi)
+						n := len(got)
+						if n%concBatchSize != 0 {
+							errs <- fmt.Errorf("reader %d: saw %d entries, not a multiple of the batch size %d (torn batch)", r, n, concBatchSize)
+							return false
+						}
+						ids := make(map[uint64]bool, n)
+						for _, e := range got {
+							ids[e.ID] = true
+						}
+						if len(ids) != n {
+							errs <- fmt.Errorf("reader %d: %d entries with %d distinct ids", r, n, len(ids))
+							return false
+						}
+						for id := uint64(1); id <= uint64(n); id++ {
+							if !ids[id] {
+								errs <- fmt.Errorf("reader %d: %d entries but id %d missing — not a batch prefix", r, n, id)
+								return false
+							}
+						}
+						if n < lastN {
+							errs <- fmt.Errorf("reader %d: visible entries shrank %d -> %d under an insert-only writer", r, lastN, n)
+							return false
+						}
+						lastN = n
+						e2 := idx.ReadEpoch()
+						if e2 < e1 {
+							errs <- fmt.Errorf("reader %d: epoch regressed across a read %d -> %d", r, e1, e2)
+							return false
+						}
+						lastEpoch = e2
+						return true
+					}
+					for {
+						select {
+						case <-done:
+							read() // one read after the writer is done
+							return
+						default:
+							if !read() {
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Everything landed.
+			n, err := checkPrefix(idx.Search(full, tlo, thi))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != concBatches*concBatchSize {
+				t.Fatalf("final read sees %d entries, want %d", n, concBatches*concBatchSize)
+			}
+			if err := idx.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The removal phase: a writer deleting ids top-down, readers asserting
+// every read remains a contiguous prefix and shrinks monotonically.
+// (Remove publishes per id, so multiples of the batch size are not
+// expected here — only prefix consistency and monotonicity.)
+func TestConcurrentSnapshotReadsDuringRemoval(t *testing.T) {
+	full := geo.RectAround(city, 30_000)
+	const tlo, thi = -(1 << 40), 1 << 40
+	const total = 600
+	for name, idx := range concIndexes(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(654))
+			entries := make([]Entry, total)
+			for i := range entries {
+				entries[i] = diffEntry(rng, uint64(i+1))
+			}
+			if err := idx.InsertBatch(entries); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			done := make(chan struct{})
+			errs := make(chan error, 8)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				for id := uint64(total); id >= 1; id-- {
+					if !idx.Remove(id) {
+						errs <- fmt.Errorf("writer: live id %d not removed", id)
+						return
+					}
+				}
+			}()
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					last := total + 1
+					read := func() bool {
+						n, err := checkPrefix(idx.Search(full, tlo, thi))
+						if err != nil {
+							errs <- fmt.Errorf("reader %d: %w", r, err)
+							return false
+						}
+						if n > last {
+							errs <- fmt.Errorf("reader %d: visible entries grew %d -> %d under a remove-only writer", r, last, n)
+							return false
+						}
+						last = n
+						return true
+					}
+					for {
+						select {
+						case <-done:
+							read()
+							return
+						default:
+							if !read() {
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if got := idx.Search(full, tlo, thi); len(got) != 0 {
+				t.Fatalf("final read sees %d entries after removing all", len(got))
+			}
+			if err := idx.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -153,14 +153,20 @@ func queryRect(r geo.Rect, startMillis, endMillis int64) rtree.Rect {
 
 // RTree is the R-tree-backed index of Section V. The zero value is not
 // usable; construct with NewRTree.
+//
+// Writers serialize on mu and publish an immutable snapshot of the tree
+// after every mutation; readers load the snapshot and traverse it with
+// no locks at all, so queries never wait on ingest and never observe a
+// partially applied batch.
 type RTree struct {
-	mu    sync.RWMutex
+	mu    sync.Mutex // writers only; readers go through tree.Snapshot
 	tree  *rtree.Tree[Entry]
 	rects map[uint64]rtree.Rect
 	// locks is the lock-wait accounting class for mu; nil (the default)
 	// leaves the tree uninstrumented. Hot paths use the explicit
 	// Start/Acquired/Released pattern instead of defer so the sampling-off
-	// path stays allocation-free.
+	// path stays allocation-free. Since reads are lock-free, only the
+	// write paths are ever sampled.
 	locks *obs.LockClass
 }
 
@@ -204,16 +210,28 @@ func BulkLoadRTree(opts rtree.Options, entries []Entry) (*RTree, error) {
 
 // Insert implements Index.
 func (x *RTree) Insert(e Entry) error {
+	_, err := x.insertPub(e)
+	return err
+}
+
+// insertPub is Insert returning the snapshot published on success (nil
+// on error) — the hook Sharded uses to fold the shard's new state into
+// its global view.
+func (x *RTree) insertPub(e Entry) (*rtree.Snapshot[Entry], error) {
 	if err := e.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	lt := x.locks.Start()
 	x.mu.Lock()
 	lt.Acquired()
 	err := x.insertLocked(e)
+	var snap *rtree.Snapshot[Entry]
+	if err == nil {
+		snap = x.tree.Publish()
+	}
 	x.mu.Unlock()
 	lt.Released()
-	return err
+	return snap, err
 }
 
 func (x *RTree) insertLocked(e Entry) error {
@@ -233,10 +251,18 @@ func (x *RTree) insertLocked(e Entry) error {
 // the tree lock. On any failure the already-inserted prefix is removed
 // again, so the batch is all-or-nothing.
 func (x *RTree) InsertBatch(entries []Entry) error {
+	_, err := x.insertBatchPub(entries)
+	return err
+}
+
+// insertBatchPub is InsertBatch returning the snapshot published on
+// success. The whole batch becomes visible to readers in that single
+// publish — a reader sees either none of the batch or all of it.
+func (x *RTree) insertBatchPub(entries []Entry) (*rtree.Snapshot[Entry], error) {
 	rects := make([]rtree.Rect, len(entries))
 	for i, e := range entries {
 		if err := e.Validate(); err != nil {
-			return fmt.Errorf("index: batch entry %d: %w", i, err)
+			return nil, fmt.Errorf("index: batch entry %d: %w", i, err)
 		}
 		rects[i] = entryRect(e.Rep)
 	}
@@ -244,9 +270,13 @@ func (x *RTree) InsertBatch(entries []Entry) error {
 	x.mu.Lock()
 	lt.Acquired()
 	err := x.insertBatchLocked(entries, rects)
+	var snap *rtree.Snapshot[Entry]
+	if err == nil {
+		snap = x.tree.Publish()
+	}
 	x.mu.Unlock()
 	lt.Released()
-	return err
+	return snap, err
 }
 
 func (x *RTree) insertBatchLocked(entries []Entry, rects []rtree.Rect) error {
@@ -271,31 +301,44 @@ func (x *RTree) insertBatchLocked(entries []Entry, rects []rtree.Rect) error {
 	return nil
 }
 
-// searchRectCounted is the shard-side search primitive: one index-space
-// box lookup returning the hits plus the traversal cost, under a single
-// read-lock acquisition.
-func (x *RTree) searchRectCounted(q rtree.Rect) (out []Entry, nodes, leafs int64) {
-	lt := x.locks.Start()
-	x.mu.RLock()
-	lt.Acquired()
-	nodes, leafs = x.tree.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
+// searchSnapCounted is the snapshot-side search primitive: one
+// index-space box lookup against a published snapshot, returning the
+// hits plus the traversal cost. No locks are taken.
+func searchSnapCounted(s *rtree.Snapshot[Entry], q rtree.Rect) (out []Entry, nodes, leafs int64) {
+	nodes, leafs = s.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
 		out = append(out, e)
 		return true
 	})
-	x.mu.RUnlock()
-	lt.Released()
 	return out, nodes, leafs
+}
+
+// ReadEpoch returns the epoch of the snapshot readers currently see. It
+// increases by exactly 1 per published mutation (insert, batch, remove),
+// which is what the read-correctness suites pin monotonicity against.
+func (x *RTree) ReadEpoch() uint64 {
+	return x.tree.Snapshot().Epoch()
 }
 
 // Remove implements Index.
 func (x *RTree) Remove(id uint64) bool {
+	_, ok := x.removePub(id)
+	return ok
+}
+
+// removePub is Remove returning the snapshot published when the entry
+// existed (nil otherwise).
+func (x *RTree) removePub(id uint64) (*rtree.Snapshot[Entry], bool) {
 	lt := x.locks.Start()
 	x.mu.Lock()
 	lt.Acquired()
 	ok := x.removeLocked(id)
+	var snap *rtree.Snapshot[Entry]
+	if ok {
+		snap = x.tree.Publish()
+	}
 	x.mu.Unlock()
 	lt.Released()
-	return ok
+	return snap, ok
 }
 
 func (x *RTree) removeLocked(id uint64) bool {
@@ -311,73 +354,65 @@ func (x *RTree) removeLocked(id uint64) bool {
 	return true
 }
 
-// Search implements Index.
+// Search implements Index. It reads the published snapshot and takes no
+// locks.
 func (x *RTree) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
-	q := queryRect(r, startMillis, endMillis)
-	lt := x.locks.Start()
-	x.mu.RLock()
-	lt.Acquired()
-	out := x.tree.SearchAll(q)
-	x.mu.RUnlock()
-	lt.Released()
-	return out
+	return x.tree.Snapshot().SearchAll(queryRect(r, startMillis, endMillis))
 }
 
 // SearchCtx implements ContextSearcher: when ctx carries a query trace,
 // the R-tree's per-call traversal counters (nodes visited, leaf entries
-// scanned) are recorded into it.
+// scanned) are recorded into it. Lock-free, like Search.
 func (x *RTree) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry {
 	tr := obs.TraceFrom(ctx)
 	if tr == nil {
 		return x.Search(r, startMillis, endMillis)
 	}
-	q := queryRect(r, startMillis, endMillis)
-	lt := x.locks.Start()
-	x.mu.RLock()
-	lt.Acquired()
-	var out []Entry
-	nodes, leafs := x.tree.SearchCounted(q, func(_ rtree.Rect, e Entry) bool {
-		out = append(out, e)
-		return true
-	})
-	x.mu.RUnlock()
-	lt.Released()
+	out, nodes, leafs := searchSnapCounted(x.tree.Snapshot(), queryRect(r, startMillis, endMillis))
 	tr.AddIndexVisit(nodes, leafs)
 	return out
 }
 
+// searchForCache runs one box search against the current snapshot and
+// returns, besides the hits and traversal cost, a validity probe: it
+// reports true for as long as a reader would still get the same answer
+// (the snapshot has not been superseded). The read cache stores results
+// under this probe.
+func (x *RTree) searchForCache(r geo.Rect, startMillis, endMillis int64) (out []Entry, nodes, leafs int64, valid func() bool) {
+	s := x.tree.Snapshot()
+	out, nodes, leafs = searchSnapCounted(s, queryRect(r, startMillis, endMillis))
+	epoch := s.Epoch()
+	return out, nodes, leafs, func() bool {
+		return x.tree.Snapshot().Epoch() == epoch
+	}
+}
+
 // Len implements Index.
 func (x *RTree) Len() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.tree.Len()
+	return x.tree.Snapshot().Len()
 }
 
 // Height exposes the underlying tree height for diagnostics.
 func (x *RTree) Height() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.tree.Height()
+	return x.tree.Snapshot().Height()
 }
 
 // Entries returns a copy of every stored entry, in unspecified order —
-// the input to a snapshot.
+// the input to a snapshot. The copy is taken from the published
+// snapshot, so it is a consistent cut even while writers are active.
 func (x *RTree) Entries() []Entry {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	out := make([]Entry, 0, x.tree.Len())
-	x.tree.Scan(func(_ rtree.Rect, e Entry) bool {
+	s := x.tree.Snapshot()
+	out := make([]Entry, 0, s.Len())
+	s.Scan(func(_ rtree.Rect, e Entry) bool {
 		out = append(out, e)
 		return true
 	})
 	return out
 }
 
-// NodeCount returns the underlying tree's node count (diagnostics).
+// NodeCount returns the published snapshot's node count (diagnostics).
 func (x *RTree) NodeCount() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return x.tree.NodeCount()
+	return x.tree.Snapshot().NodeCount()
 }
 
 // TreeStats returns the underlying tree's lifetime operation counters
@@ -385,20 +420,24 @@ func (x *RTree) NodeCount() int {
 // numbers the server exposes at /metrics. Counters reset when the tree
 // is replaced (snapshot restore).
 func (x *RTree) TreeStats() rtree.Stats {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
 	return x.tree.Stats()
 }
 
-// CheckInvariants validates the underlying tree structure (tests only).
+// CheckInvariants validates the underlying tree structure, the id map,
+// and the publication contract: after any public mutation returns, the
+// published snapshot is exactly the current tree state (tests only; the
+// caller must be quiescent).
 func (x *RTree) CheckInvariants() error {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	if err := x.tree.CheckInvariants(); err != nil {
 		return err
 	}
 	if len(x.rects) != x.tree.Len() {
 		return fmt.Errorf("index: id map has %d entries, tree has %d", len(x.rects), x.tree.Len())
+	}
+	if s := x.tree.Snapshot(); s.Len() != x.tree.Len() {
+		return fmt.Errorf("index: published snapshot has %d entries, tree has %d (unpublished mutation)", s.Len(), x.tree.Len())
 	}
 	return nil
 }
@@ -545,18 +584,20 @@ func nearestParams(center geo.Point, maxDistanceMeters float64) (p, w [rtree.Dim
 // radius (pass the camera's radius of view: farther entries cannot cover
 // the point anyway).
 func (x *RTree) Nearest(center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
+	return nearestSnap(x.tree.Snapshot(), center, startMillis, endMillis, k, maxDistanceMeters, keep)
+}
+
+// nearestSnap runs the weighted nearest-neighbour search against one
+// published snapshot — shared by RTree.Nearest and the sharded index's
+// per-view-shard fan-out so their metrics agree exactly.
+func nearestSnap(s *rtree.Snapshot[Entry], center geo.Point, startMillis, endMillis int64, k int, maxDistanceMeters float64, keep func(Entry) bool) []Neighbor {
 	p, w, maxDist2 := nearestParams(center, maxDistanceMeters)
-	lt := x.locks.Start()
-	x.mu.RLock()
-	lt.Acquired()
-	found := x.tree.WeightedNearest(p, w, k, maxDist2, func(r rtree.Rect, e Entry) bool {
+	found := s.WeightedNearest(p, w, k, maxDist2, func(r rtree.Rect, e Entry) bool {
 		if e.Rep.EndMillis < startMillis || e.Rep.StartMillis > endMillis {
 			return false
 		}
 		return keep == nil || keep(e)
 	})
-	x.mu.RUnlock()
-	lt.Released()
 	out := make([]Neighbor, len(found))
 	for i, n := range found {
 		out[i] = Neighbor{

@@ -48,6 +48,44 @@ func TestShardedLockAccounting(t *testing.T) {
 	}
 }
 
+// TestShardedReadsTakeNoShardLocks pins the snapshot read path's core
+// property: with every acquisition timed (rate 1), searches and
+// nearest-neighbour queries record zero index.shard acquisitions — the
+// read path resolves shards from the published view and never touches a
+// stripe lock — while ingest keeps being sampled as before.
+func TestShardedReadsTakeNoShardLocks(t *testing.T) {
+	obs.SetLockSampleRate(1)
+	defer obs.SetLockSampleRate(0)
+	x, reg := newInstrumentedSharded(t)
+	rng := rand.New(rand.NewSource(13))
+	for id := uint64(1); id <= 300; id++ {
+		if err := x.Insert(randEntry(rng, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shardWait := reg.NsHistogram(`fovr_lock_wait_ns{class="index.shard"}`)
+	ingestSamples := shardWait.Count()
+	if ingestSamples == 0 {
+		t.Fatal("ingest recorded no shard acquisitions at rate 1")
+	}
+	q := geo.Rect{MinLat: -90, MaxLat: 90, MinLng: -180, MaxLng: 180}
+	for i := 0; i < 50; i++ {
+		x.Search(q, 0, 86_400_000)
+		x.Nearest(city, 0, 86_400_000, 5, 0, nil)
+	}
+	if got := shardWait.Count(); got != ingestSamples {
+		t.Fatalf("queries recorded %d shard acquisitions (total %d, ingest %d); reads must not take shard locks",
+			got-ingestSamples, got, ingestSamples)
+	}
+	// Ingest after the read burst still samples.
+	if err := x.Insert(randEntry(rng, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if shardWait.Count() <= ingestSamples {
+		t.Fatal("ingest stopped being sampled after the read burst")
+	}
+}
+
 // TestShardedLockOffNoExtraAllocs pins the acceptance contract on the
 // real query path: with sampling off, the instrumented index allocates
 // exactly as much per search as an uninstrumented one.

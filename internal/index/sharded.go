@@ -75,6 +75,37 @@ func (o ShardedOptions) withDefaults() (ShardedOptions, error) {
 type shard struct {
 	label string // "t<window>" for time shards, "s<cell>" for spatial
 	rt    *RTree
+	// Identity inside the published view: time shards carry their window
+	// key, spatial shards their slot (spatialIdx >= 0, key unused).
+	key        int64
+	spatialIdx int // -1 for time shards
+}
+
+// viewShard is one shard's pinned state inside a shardView: the label
+// (for pprof fan-out attribution) plus the snapshot readers traverse.
+type viewShard struct {
+	label string
+	snap  *rtree.Snapshot[Entry]
+}
+
+// shardView is the epoch-pinned, immutable cut over every shard that a
+// reader resolves with a single atomic load: queries fan out over these
+// snapshots, never touching live shard locks. Writers delta-apply their
+// freshly published shard snapshots under pubMu; a per-shard epoch guard
+// (a newer snapshot never regresses to an older one) keeps concurrent
+// publishers from losing each other's updates.
+type shardView struct {
+	epoch   uint64
+	keys    []int64 // sorted time-window keys present in time
+	time    map[int64]viewShard
+	spatial []viewShard // slot-aligned with Sharded.spatial, never nil snaps
+}
+
+// shardDelta is one shard's new snapshot awaiting publication into the
+// view.
+type shardDelta struct {
+	sh   *shard
+	snap *rtree.Snapshot[Entry]
 }
 
 // shardRef is one id's entry in the striped id map. pending marks ids
@@ -129,6 +160,12 @@ type Sharded struct {
 	metered atomic.Bool                   // metrics currently registered
 	fanout  atomic.Pointer[obs.Histogram] // per-query fan-out width
 
+	// view is the reader-facing consistent cut (see shardView). pubMu
+	// serializes view replacement; it nests inside stripe locks and never
+	// acquires any other lock.
+	pubMu sync.Mutex
+	view  atomic.Pointer[shardView]
+
 	// Lock-wait accounting classes (nil without a registry): every shard
 	// tree mutex shares shardLocks ("index.shard"), every id-map stripe
 	// shares stripeLocks ("index.idmap"). Class-level aggregation keeps
@@ -162,8 +199,18 @@ func NewSharded(opts ShardedOptions) (*Sharded, error) {
 			return nil, err
 		}
 		rt.SetLockClass(x.shardLocks)
-		x.spatial[i] = &shard{label: fmt.Sprintf("s%d", i), rt: rt}
+		x.spatial[i] = &shard{label: fmt.Sprintf("s%d", i), rt: rt, spatialIdx: i}
 	}
+	// Initial view: every spatial shard's (empty) snapshot, no time shards.
+	spatial := make([]viewShard, len(x.spatial))
+	for i, sp := range x.spatial {
+		spatial[i] = viewShard{label: sp.label, snap: sp.rt.tree.Snapshot()}
+	}
+	x.view.Store(&shardView{
+		epoch:   1,
+		time:    make(map[int64]viewShard),
+		spatial: spatial,
+	})
 	x.RegisterMetrics()
 	return x, nil
 }
@@ -290,7 +337,7 @@ func (x *Sharded) shardFor(e Entry) (*shard, error) {
 		x.mu.Unlock()
 		return existing, nil
 	}
-	sh = &shard{label: fmt.Sprintf("t%d", key), rt: rt}
+	sh = &shard{label: fmt.Sprintf("t%d", key), rt: rt, key: key, spatialIdx: -1}
 	x.timeShards[key] = sh
 	x.mu.Unlock()
 	// Registered outside x.mu; exactly one goroutine creates each shard.
@@ -312,23 +359,30 @@ func (x *Sharded) Insert(e Entry) error {
 	lt := x.stripeLocks.Start()
 	st.mu.Lock()
 	lt.Acquired()
-	err = x.insertStriped(st, sh, e)
+	delta, err := x.insertStriped(st, sh, e)
 	st.mu.Unlock()
 	lt.Released()
+	if err == nil {
+		x.publishView(delta)
+	}
 	return err
 }
 
-// insertStriped is Insert's critical section: runs under st.mu.
-func (x *Sharded) insertStriped(st *idStripe, sh *shard, e Entry) error {
+// insertStriped is Insert's critical section: runs under st.mu. On
+// success it returns the shard's freshly published snapshot for the
+// caller to fold into the view (outside the stripe lock; the per-shard
+// epoch guard makes late publication safe).
+func (x *Sharded) insertStriped(st *idStripe, sh *shard, e Entry) (shardDelta, error) {
 	if _, dup := st.refs[e.ID]; dup {
-		return fmt.Errorf("index: duplicate id %d", e.ID)
+		return shardDelta{}, fmt.Errorf("index: duplicate id %d", e.ID)
 	}
-	if err := sh.rt.Insert(e); err != nil {
-		return err
+	snap, err := sh.rt.insertPub(e)
+	if err != nil {
+		return shardDelta{}, err
 	}
 	st.refs[e.ID] = shardRef{s: sh}
 	x.count.Add(1)
-	return nil
+	return shardDelta{sh: sh, snap: snap}, nil
 }
 
 // InsertBatch adds a whole upload all-or-nothing, taking each owning
@@ -380,10 +434,14 @@ func (x *Sharded) InsertBatch(entries []Entry) error {
 		}
 		groups[sh] = append(groups[sh], e)
 	}
+	deltas := make([]shardDelta, 0, len(order))
 	for gi, sh := range order {
-		if err := sh.rt.InsertBatch(groups[sh]); err != nil {
+		snap, err := sh.rt.insertBatchPub(groups[sh])
+		if err != nil {
 			// Roll back the shards already written, then release every
-			// reservation: the batch is all-or-nothing.
+			// reservation: the batch is all-or-nothing. The rollback
+			// removals publish at shard level only; none of the batch's
+			// snapshots reach the view, so readers never saw any of it.
 			for _, done := range order[:gi] {
 				for _, e := range groups[done] {
 					done.rt.Remove(e.ID)
@@ -392,9 +450,12 @@ func (x *Sharded) InsertBatch(entries []Entry) error {
 			x.unregister(entries)
 			return err
 		}
+		deltas = append(deltas, shardDelta{sh: sh, snap: snap})
 	}
 
-	// Phase 3: commit the reservations.
+	// Phase 3: commit the reservations, then publish every touched
+	// shard's snapshot as one view replacement — the whole batch becomes
+	// visible to readers atomically, even when it spans shards.
 	for i, e := range entries {
 		st := x.stripe(e.ID)
 		lt := x.stripeLocks.Start()
@@ -405,6 +466,7 @@ func (x *Sharded) InsertBatch(entries []Entry) error {
 		lt.Released()
 	}
 	x.count.Add(int64(len(entries)))
+	x.publishView(deltas...)
 	return nil
 }
 
@@ -427,24 +489,28 @@ func (x *Sharded) Remove(id uint64) bool {
 	lt := x.stripeLocks.Start()
 	st.mu.Lock()
 	lt.Acquired()
-	ok := x.removeStriped(st, id)
+	delta, ok := x.removeStriped(st, id)
 	st.mu.Unlock()
 	lt.Released()
+	if ok {
+		x.publishView(delta)
+	}
 	return ok
 }
 
 // removeStriped is Remove's critical section: runs under st.mu.
-func (x *Sharded) removeStriped(st *idStripe, id uint64) bool {
+func (x *Sharded) removeStriped(st *idStripe, id uint64) (shardDelta, bool) {
 	ref, ok := st.refs[id]
 	if !ok || ref.pending {
-		return false
+		return shardDelta{}, false
 	}
-	if !ref.s.rt.Remove(id) {
+	snap, removed := ref.s.rt.removePub(id)
+	if !removed {
 		panic(fmt.Sprintf("index: id %d tracked in shard map but not in shard %s", id, ref.s.label))
 	}
 	delete(st.refs, id)
 	x.count.Add(-1)
-	return true
+	return shardDelta{sh: ref.s, snap: snap}, true
 }
 
 // Len implements Index.
@@ -486,32 +552,98 @@ func (x *Sharded) ShardSizes() map[string]int {
 	return out
 }
 
-// shardsFor returns, in deterministic order (ascending window, then the
-// spatial fallbacks), every shard that could hold an entry whose
-// segment intersects [startMillis, endMillis]. A time shard holds
-// segments starting within its window with duration <= window, so only
-// windows floor(start/W)-1 .. floor(end/W) qualify.
-func (x *Sharded) shardsFor(startMillis, endMillis int64) []*shard {
-	lo := floorDiv(startMillis, x.window)
+// publishView folds freshly published shard snapshots into a new view
+// and makes it current. Serialized on pubMu; the per-shard epoch guard
+// drops any delta older than what the view already holds, so two
+// publishers racing on the same shard cannot regress it.
+func (x *Sharded) publishView(deltas ...shardDelta) {
+	x.pubMu.Lock()
+	defer x.pubMu.Unlock()
+	old := x.view.Load()
+	nv := &shardView{
+		epoch:   old.epoch + 1,
+		keys:    old.keys,
+		time:    old.time,
+		spatial: old.spatial,
+	}
+	changed, copiedTime, copiedSpatial := false, false, false
+	for _, d := range deltas {
+		if d.snap == nil {
+			continue
+		}
+		if d.sh.spatialIdx >= 0 {
+			if old.spatial[d.sh.spatialIdx].snap.Epoch() >= d.snap.Epoch() {
+				continue
+			}
+			if !copiedSpatial {
+				nv.spatial = append([]viewShard(nil), nv.spatial...)
+				copiedSpatial = true
+			}
+			nv.spatial[d.sh.spatialIdx] = viewShard{label: d.sh.label, snap: d.snap}
+			changed = true
+			continue
+		}
+		cur, ok := nv.time[d.sh.key]
+		if ok && cur.snap.Epoch() >= d.snap.Epoch() {
+			continue
+		}
+		if !copiedTime {
+			m := make(map[int64]viewShard, len(nv.time)+1)
+			for k, v := range nv.time {
+				m[k] = v
+			}
+			nv.time = m
+			copiedTime = true
+		}
+		nv.time[d.sh.key] = viewShard{label: d.sh.label, snap: d.snap}
+		if !ok {
+			pos := sort.Search(len(nv.keys), func(i int) bool { return nv.keys[i] >= d.sh.key })
+			keys := make([]int64, 0, len(nv.keys)+1)
+			keys = append(keys, nv.keys[:pos]...)
+			keys = append(keys, d.sh.key)
+			keys = append(keys, nv.keys[pos:]...)
+			nv.keys = keys
+		}
+		changed = true
+	}
+	if changed {
+		x.view.Store(nv)
+	}
+}
+
+// ReadEpoch returns the epoch of the view readers currently see; it
+// advances with every effective publication.
+func (x *Sharded) ReadEpoch() uint64 { return x.view.Load().epoch }
+
+// windowRange returns the inclusive time-window key range a query over
+// [startMillis, endMillis] must visit. A time shard holds segments
+// starting within its window with duration <= window, so only windows
+// floor(start/W)-1 .. floor(end/W) qualify.
+func (x *Sharded) windowRange(startMillis, endMillis int64) (lo, hi int64) {
+	lo = floorDiv(startMillis, x.window)
 	if lo > math.MinInt64 {
 		lo--
 	}
-	hi := floorDiv(endMillis, x.window)
-	x.mu.RLock()
-	keys := make([]int64, 0, len(x.timeShards))
-	for k := range x.timeShards {
-		if k >= lo && k <= hi {
-			keys = append(keys, k)
-		}
+	hi = floorDiv(endMillis, x.window)
+	return lo, hi
+}
+
+// viewShardsFor returns, in deterministic order (ascending window, then
+// the non-empty spatial fallbacks), every snapshot in the view that
+// could hold an entry whose segment intersects [startMillis, endMillis].
+func (x *Sharded) viewShardsFor(v *shardView, startMillis, endMillis int64) []viewShard {
+	lo, hi := x.windowRange(startMillis, endMillis)
+	from := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] >= lo })
+	to := from
+	for to < len(v.keys) && v.keys[to] <= hi {
+		to++
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]*shard, 0, len(keys)+len(x.spatial))
-	for _, k := range keys {
-		out = append(out, x.timeShards[k])
+	out := make([]viewShard, 0, (to-from)+len(v.spatial))
+	for _, k := range v.keys[from:to] {
+		out = append(out, v.time[k])
 	}
-	x.mu.RUnlock()
-	for _, sp := range x.spatial {
-		if sp.rt.Len() > 0 {
+	for _, sp := range v.spatial {
+		if sp.snap.Len() > 0 {
 			out = append(out, sp)
 		}
 	}
@@ -554,18 +686,25 @@ func (x *Sharded) Search(r geo.Rect, startMillis, endMillis int64) []Entry {
 	return x.SearchCtx(context.Background(), r, startMillis, endMillis)
 }
 
-// SearchCtx implements ContextSearcher: the query fans out to every
-// overlapping shard, per-shard results merge in shard order, and the
-// summed traversal cost is recorded into the trace carried by ctx.
+// SearchCtx implements ContextSearcher: the query resolves every
+// overlapping shard snapshot from ONE atomic view load (a consistent,
+// epoch-pinned cut — no shard lock is touched), fans out across them,
+// merges per-shard results in shard order, and records the summed
+// traversal cost into the trace carried by ctx.
 func (x *Sharded) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMillis int64) []Entry {
-	shards := x.shardsFor(startMillis, endMillis)
+	out, nodes, leafs := x.searchView(ctx, x.view.Load(), r, startMillis, endMillis)
+	obs.TraceFrom(ctx).AddIndexVisit(nodes, leafs)
+	return out
+}
+
+// searchView runs one box query against a pinned view.
+func (x *Sharded) searchView(ctx context.Context, v *shardView, r geo.Rect, startMillis, endMillis int64) (out []Entry, nodeSum, leafSum int64) {
+	shards := x.viewShardsFor(v, startMillis, endMillis)
 	if h := x.fanout.Load(); h != nil {
 		h.Observe(float64(len(shards)))
 	}
-	tr := obs.TraceFrom(ctx)
 	if len(shards) == 0 {
-		tr.AddIndexVisit(0, 0)
-		return nil
+		return nil, 0, 0
 	}
 	q := queryRect(r, startMillis, endMillis)
 	results := make([][]Entry, len(shards))
@@ -578,28 +717,75 @@ func (x *Sharded) SearchCtx(ctx context.Context, r geo.Rect, startMillis, endMil
 	x.fanOut(len(shards), func(i int) {
 		if labeled {
 			pprof.Do(ctx, pprof.Labels("shard", shards[i].label), func(context.Context) {
-				results[i], nodes[i], leafs[i] = shards[i].rt.searchRectCounted(q)
+				results[i], nodes[i], leafs[i] = searchSnapCounted(shards[i].snap, q)
 			})
 			return
 		}
-		results[i], nodes[i], leafs[i] = shards[i].rt.searchRectCounted(q)
+		results[i], nodes[i], leafs[i] = searchSnapCounted(shards[i].snap, q)
 	})
 	total := 0
-	var nodeSum, leafSum int64
 	for i := range results {
 		total += len(results[i])
 		nodeSum += nodes[i]
 		leafSum += leafs[i]
 	}
-	tr.AddIndexVisit(nodeSum, leafSum)
 	if total == 0 {
-		return nil
+		return nil, nodeSum, leafSum
 	}
-	out := make([]Entry, 0, total)
+	out = make([]Entry, 0, total)
 	for _, rs := range results {
 		out = append(out, rs...)
 	}
-	return out
+	return out, nodeSum, leafSum
+}
+
+// searchForCache runs one box search against the current view and
+// returns a validity probe for the read cache: it stays true while every
+// shard the query's window range resolves to (plus the spatial set) is
+// unchanged — cell-granular invalidation, so ingest into unrelated
+// windows does not evict cached answers.
+func (x *Sharded) searchForCache(r geo.Rect, startMillis, endMillis int64) (out []Entry, nodes, leafs int64, valid func() bool) {
+	v := x.view.Load()
+	out, nodes, leafs = x.searchView(context.Background(), v, r, startMillis, endMillis)
+	lo, hi := x.windowRange(startMillis, endMillis)
+	valid = func() bool {
+		cur := x.view.Load()
+		if cur == v {
+			return true
+		}
+		return viewRangeUnchanged(v, cur, lo, hi)
+	}
+	return out, nodes, leafs, valid
+}
+
+// viewRangeUnchanged reports whether two views would answer a query over
+// time-window keys [lo, hi] identically: the same time shards at the
+// same snapshot epochs, and every spatial slot (all of which any query
+// visits) unchanged. Per-shard epochs are strictly monotonic, so epoch
+// equality means the snapshot is the same.
+func viewRangeUnchanged(a, b *shardView, lo, hi int64) bool {
+	for i := range a.spatial {
+		if a.spatial[i].snap.Epoch() != b.spatial[i].snap.Epoch() {
+			return false
+		}
+	}
+	ai := sort.Search(len(a.keys), func(i int) bool { return a.keys[i] >= lo })
+	bi := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= lo })
+	for {
+		aOK := ai < len(a.keys) && a.keys[ai] <= hi
+		bOK := bi < len(b.keys) && b.keys[bi] <= hi
+		if !aOK || !bOK {
+			return aOK == bOK // a key appearing or vanishing changes answers
+		}
+		if a.keys[ai] != b.keys[bi] {
+			return false
+		}
+		if a.time[a.keys[ai]].snap.Epoch() != b.time[b.keys[bi]].snap.Epoch() {
+			return false
+		}
+		ai++
+		bi++
+	}
 }
 
 // Nearest implements the k-nearest search of the single-tree index:
@@ -610,13 +796,13 @@ func (x *Sharded) Nearest(center geo.Point, startMillis, endMillis int64, k int,
 	if k <= 0 {
 		return nil
 	}
-	shards := x.shardsFor(startMillis, endMillis)
+	shards := x.viewShardsFor(x.view.Load(), startMillis, endMillis)
 	if len(shards) == 0 {
 		return nil
 	}
 	results := make([][]Neighbor, len(shards))
 	x.fanOut(len(shards), func(i int) {
-		results[i] = shards[i].rt.Nearest(center, startMillis, endMillis, k, maxDistanceMeters, keep)
+		results[i] = nearestSnap(shards[i].snap, center, startMillis, endMillis, k, maxDistanceMeters, keep)
 	})
 	var merged []Neighbor
 	for _, rs := range results {
@@ -658,36 +844,51 @@ func (x *Sharded) allShards() []*shard {
 	return out
 }
 
+// viewShardsAll returns every shard in the view (time shards in key
+// order, then all spatial slots).
+func viewShardsAll(v *shardView) []viewShard {
+	out := make([]viewShard, 0, len(v.keys)+len(v.spatial))
+	for _, k := range v.keys {
+		out = append(out, v.time[k])
+	}
+	out = append(out, v.spatial...)
+	return out
+}
+
 // Entries returns a copy of every stored entry (snapshot input), shard
-// by shard in deterministic shard order.
+// by shard in deterministic shard order. It reads the published view,
+// so the copy is a consistent cut even under concurrent ingest.
 func (x *Sharded) Entries() []Entry {
 	var out []Entry
-	for _, sh := range x.allShards() {
-		out = append(out, sh.rt.Entries()...)
+	for _, vs := range viewShardsAll(x.view.Load()) {
+		vs.snap.Scan(func(_ rtree.Rect, e Entry) bool {
+			out = append(out, e)
+			return true
+		})
 	}
 	return out
 }
 
-// Height returns the tallest shard tree — the worst-case traversal
-// depth a query can meet.
+// Height returns the tallest shard tree in the published view — the
+// worst-case traversal depth a query can meet.
 func (x *Sharded) Height() int {
 	h := 0
-	for _, sh := range x.allShards() {
-		if sh.rt.Len() == 0 {
+	for _, vs := range viewShardsAll(x.view.Load()) {
+		if vs.snap.Len() == 0 {
 			continue
 		}
-		if sht := sh.rt.Height(); sht > h {
+		if sht := vs.snap.Height(); sht > h {
 			h = sht
 		}
 	}
 	return h
 }
 
-// NodeCount sums the shard trees' node counts.
+// NodeCount sums the published view's node counts.
 func (x *Sharded) NodeCount() int {
 	n := 0
-	for _, sh := range x.allShards() {
-		n += sh.rt.NodeCount()
+	for _, vs := range viewShardsAll(x.view.Load()) {
+		n += vs.snap.NodeCount()
 	}
 	return n
 }
@@ -736,15 +937,79 @@ func (x *Sharded) CheckInvariants() error {
 	}
 	// Time shards may only hold segments no longer than the window.
 	x.mu.RLock()
-	defer x.mu.RUnlock()
 	for key, sh := range x.timeShards {
 		for _, e := range sh.rt.Entries() {
 			if e.Rep.EndMillis-e.Rep.StartMillis > x.window {
+				x.mu.RUnlock()
 				return fmt.Errorf("index: over-long segment %d in time shard %d", e.ID, key)
 			}
 			if floorDiv(e.Rep.StartMillis, x.window) != key {
+				x.mu.RUnlock()
 				return fmt.Errorf("index: entry %d misfiled in time shard %d", e.ID, key)
 			}
+		}
+	}
+	x.mu.RUnlock()
+	return x.checkView()
+}
+
+// checkView validates the published view against the live shards: at
+// rest every mutation has been published, so each view snapshot must
+// match its shard's current state (same size, epoch no newer than the
+// shard's), the key list must mirror the map, and any live time shard
+// absent from the view (created by a rolled-back batch) must be empty.
+func (x *Sharded) checkView() error {
+	v := x.view.Load()
+	if v == nil {
+		return fmt.Errorf("index: no published view")
+	}
+	if len(v.keys) != len(v.time) {
+		return fmt.Errorf("index: view has %d keys but %d time shards", len(v.keys), len(v.time))
+	}
+	total := 0
+	for i, k := range v.keys {
+		if i > 0 && v.keys[i-1] >= k {
+			return fmt.Errorf("index: view keys out of order at %d", i)
+		}
+		vs, ok := v.time[k]
+		if !ok {
+			return fmt.Errorf("index: view key %d missing from time map", k)
+		}
+		total += vs.snap.Len()
+	}
+	for _, vs := range v.spatial {
+		if vs.snap == nil {
+			return fmt.Errorf("index: view spatial shard %s has nil snapshot", vs.label)
+		}
+		total += vs.snap.Len()
+	}
+	if c := int(x.count.Load()); total != c {
+		return fmt.Errorf("index: view holds %d entries, count says %d", total, c)
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for k, sh := range x.timeShards {
+		vs, ok := v.time[k]
+		if !ok {
+			if n := sh.rt.Len(); n != 0 {
+				return fmt.Errorf("index: time shard %d holds %d entries but is not in the view", k, n)
+			}
+			continue
+		}
+		if vs.snap.Len() != sh.rt.Len() {
+			return fmt.Errorf("index: view shard t%d has %d entries, live shard has %d (unpublished mutation)", k, vs.snap.Len(), sh.rt.Len())
+		}
+		if cur := sh.rt.ReadEpoch(); vs.snap.Epoch() > cur {
+			return fmt.Errorf("index: view shard t%d epoch %d ahead of live epoch %d", k, vs.snap.Epoch(), cur)
+		}
+	}
+	for i, sp := range x.spatial {
+		vs := v.spatial[i]
+		if vs.snap.Len() != sp.rt.Len() {
+			return fmt.Errorf("index: view spatial shard %s has %d entries, live shard has %d", sp.label, vs.snap.Len(), sp.rt.Len())
+		}
+		if cur := sp.rt.ReadEpoch(); vs.snap.Epoch() > cur {
+			return fmt.Errorf("index: view spatial shard %s epoch %d ahead of live epoch %d", sp.label, vs.snap.Epoch(), cur)
 		}
 	}
 	return nil

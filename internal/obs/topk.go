@@ -123,6 +123,19 @@ func (t *TopK[K]) Top() (TopKEntry[K], bool) {
 	return best, true
 }
 
+// Count returns the estimated count of key (0 when untracked). Like
+// every Space-Saving estimate it is an upper bound on the true count —
+// good enough for admission decisions ("has this cell been asked for at
+// least m times?"), the read cache's use.
+func (t *TopK[K]) Count(key K) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.pos[key]; ok {
+		return t.heap[i].Count
+	}
+	return 0
+}
+
 // Len returns the number of tracked keys (<= k).
 func (t *TopK[K]) Len() int {
 	t.mu.Lock()

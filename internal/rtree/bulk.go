@@ -51,6 +51,7 @@ func BulkLoad[T any](opts Options, items []Item[T]) (*Tree[T], error) {
 	t.height = height
 	t.size = len(items)
 	t.packed = true
+	t.Publish() // replace New's empty snapshot with the packed tree
 	return t, nil
 }
 

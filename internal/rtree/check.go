@@ -16,39 +16,80 @@ import "fmt"
 //     (tight), and hence contains all descendant rectangles.
 //  4. Every stored rectangle is valid.
 //  5. The item count equals Len.
+//
+// In addition, the published snapshot (if any) is walked with the same
+// structural checks against its own height and size, every snapshot node
+// is verified frozen (generation strictly below the current write
+// generation, so the writer cannot scribble on it without cloning), and
+// the snapshot epoch is checked against the write generation — the two
+// advance in lockstep, one step per publish.
 func (t *Tree[T]) CheckInvariants() error {
-	if t.root == nil {
-		return fmt.Errorf("rtree: nil root")
-	}
-	if !t.root.leaf && len(t.root.entries) < 2 {
-		return fmt.Errorf("rtree: internal root with %d entries", len(t.root.entries))
-	}
-	count := 0
-	if err := t.check(t.root, 1, true, &count); err != nil {
+	if err := checkTree(t.root, checkParams{
+		height: t.height, size: t.size, opts: t.opts, packed: t.packed,
+	}); err != nil {
 		return err
 	}
-	if count != t.size {
-		return fmt.Errorf("rtree: counted %d items, Len says %d", count, t.size)
+	s := t.snap.Load()
+	if s == nil {
+		if t.writeGen != 0 {
+			return fmt.Errorf("rtree: writeGen %d with no published snapshot", t.writeGen)
+		}
+		return nil
+	}
+	if s.epoch != t.writeGen {
+		return fmt.Errorf("rtree: snapshot epoch %d != writeGen %d (publish must advance both together)", s.epoch, t.writeGen)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return fmt.Errorf("rtree: published snapshot (epoch %d): %w", s.epoch, err)
+	}
+	if err := checkFrozen(s.root, t.writeGen); err != nil {
+		return fmt.Errorf("rtree: published snapshot (epoch %d): %w", s.epoch, err)
 	}
 	return nil
 }
 
-func (t *Tree[T]) check(n *node[T], depth int, isRoot bool, count *int) error {
+// checkParams carries the tree- or snapshot-level facts the structural
+// walk validates against.
+type checkParams struct {
+	height int
+	size   int
+	opts   Options
+	packed bool
+}
+
+func checkTree[T any](root *node[T], p checkParams) error {
+	if root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	if !root.leaf && len(root.entries) < 2 {
+		return fmt.Errorf("rtree: internal root with %d entries", len(root.entries))
+	}
+	count := 0
+	if err := checkNode(root, 1, true, &count, p); err != nil {
+		return err
+	}
+	if count != p.size {
+		return fmt.Errorf("rtree: counted %d items, Len says %d", count, p.size)
+	}
+	return nil
+}
+
+func checkNode[T any](n *node[T], depth int, isRoot bool, count *int, p checkParams) error {
 	if n.leaf {
-		if depth != t.height {
-			return fmt.Errorf("rtree: leaf at depth %d, height is %d", depth, t.height)
+		if depth != p.height {
+			return fmt.Errorf("rtree: leaf at depth %d, height is %d", depth, p.height)
 		}
 	}
-	if len(n.entries) > t.opts.MaxEntries {
-		return fmt.Errorf("rtree: node with %d entries exceeds max %d", len(n.entries), t.opts.MaxEntries)
+	if len(n.entries) > p.opts.MaxEntries {
+		return fmt.Errorf("rtree: node with %d entries exceeds max %d", len(n.entries), p.opts.MaxEntries)
 	}
 	// STR packing legitimately leaves the last node of each level under
 	// the minimum fill, so the check is skipped for bulk-loaded trees.
-	if !isRoot && !t.packed && len(n.entries) < t.opts.MinEntries {
-		return fmt.Errorf("rtree: non-root node with %d entries below min %d", len(n.entries), t.opts.MinEntries)
+	if !isRoot && !p.packed && len(n.entries) < p.opts.MinEntries {
+		return fmt.Errorf("rtree: non-root node with %d entries below min %d", len(n.entries), p.opts.MinEntries)
 	}
-	if isRoot && len(n.entries) == 0 && t.size > 0 {
-		return fmt.Errorf("rtree: empty root with size %d", t.size)
+	if isRoot && len(n.entries) == 0 && p.size > 0 {
+		return fmt.Errorf("rtree: empty root with size %d", p.size)
 	}
 	for i, e := range n.entries {
 		if !e.rect.Valid() {
@@ -67,8 +108,25 @@ func (t *Tree[T]) check(n *node[T], depth int, isRoot bool, count *int) error {
 		if got := e.child.mbr(); got != e.rect {
 			return fmt.Errorf("rtree: entry %d rect %v is not the child MBR %v", i, e.rect, got)
 		}
-		if err := t.check(e.child, depth+1, false, count); err != nil {
+		if err := checkNode(e.child, depth+1, false, count, p); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// checkFrozen verifies no node reachable from a published snapshot root
+// belongs to the current write generation: a published node must be
+// immutable, so its generation has to predate every future mutation.
+func checkFrozen[T any](n *node[T], writeGen uint64) error {
+	if n.gen >= writeGen {
+		return fmt.Errorf("rtree: node generation %d not frozen under writeGen %d", n.gen, writeGen)
+	}
+	if !n.leaf {
+		for _, e := range n.entries {
+			if err := checkFrozen(e.child, writeGen); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -11,7 +11,11 @@ func (t *Tree[T]) Delete(r Rect, match func(T) bool) bool {
 	if path == nil {
 		return false
 	}
+	// findLeaf explored the tree read-only; clone the found path so the
+	// nodes about to be mutated are writer-owned (copy-on-write).
+	path = t.clonePath(path)
 	leaf := path[len(path)-1]
+	t.assertMutable(leaf)
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--
 	t.stats.deletes.Add(1)
@@ -22,10 +26,31 @@ func (t *Tree[T]) Delete(r Rect, match func(T) bool) bool {
 		t.height--
 	}
 	if t.size == 0 && !t.root.leaf {
-		t.root = &node[T]{leaf: true}
+		t.root = &node[T]{leaf: true, gen: t.writeGen}
 		t.height = 1
 	}
 	return true
+}
+
+// clonePath replaces every shared node on a root-to-leaf path with a
+// writer-owned clone, re-linking each clone into its (already cloned)
+// parent and the root, and returns the cloned path.
+func (t *Tree[T]) clonePath(path []*node[T]) []*node[T] {
+	out := make([]*node[T], len(path))
+	out[0] = t.mutable(path[0])
+	t.root = out[0]
+	for i := 1; i < len(path); i++ {
+		c := t.mutable(path[i])
+		parent := out[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == path[i] {
+				parent.entries[j].child = c
+				break
+			}
+		}
+		out[i] = c
+	}
+	return out
 }
 
 // DeleteRect removes one item with exactly the given rectangle, regardless
@@ -73,6 +98,7 @@ func (t *Tree[T]) condense(path []*node[T]) {
 		n, parent := path[i], path[i-1]
 		if len(n.entries) < t.opts.MinEntries {
 			// Cut n out of its parent and orphan its entries.
+			t.assertMutable(parent)
 			for j := range parent.entries {
 				if parent.entries[j].child == n {
 					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)

@@ -1,0 +1,9 @@
+//go:build !fovrdebug
+
+package rtree
+
+// immutableChecks gates the debug assertion that a writer never mutates a
+// node reachable from a published snapshot. Off in normal builds, the
+// assertions are constant-false branches the compiler removes; build with
+// -tags fovrdebug to turn writes to frozen nodes into panics.
+const immutableChecks = false

@@ -1,0 +1,8 @@
+//go:build fovrdebug
+
+package rtree
+
+// immutableChecks is on under the fovrdebug build tag: any write to a
+// node owned by a published snapshot panics at the mutation site instead
+// of silently corrupting concurrent readers.
+const immutableChecks = true

@@ -48,11 +48,15 @@ func (t *Tree[T]) Nearest(p [Dims]float64, k int) []Neighbor[T] {
 // NearestFunc is Nearest with an optional filter; items rejected by the
 // filter are skipped without counting toward k.
 func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) []Neighbor[T] {
-	if k <= 0 || t.size == 0 {
+	return nearestFunc(t.root, t.size, t.opts.MaxEntries, p, k, keep, &t.stats)
+}
+
+func nearestFunc[T any](root *node[T], size, maxEntries int, p [Dims]float64, k int, keep func(Rect, T) bool, st *stats) []Neighbor[T] {
+	if k <= 0 || size == 0 {
 		return nil
 	}
-	q := make(knnQueue[T], 0, t.opts.MaxEntries*2)
-	heap.Push(&q, knnItem[T]{dist2: 0, node: t.root})
+	q := make(knnQueue[T], 0, maxEntries*2)
+	heap.Push(&q, knnItem[T]{dist2: 0, node: root})
 	out := make([]Neighbor[T], 0, k)
 	var c searchCounters
 	for q.Len() > 0 && len(out) < k {
@@ -77,7 +81,7 @@ func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) [
 			heap.Push(&q, child)
 		}
 	}
-	t.recordSearch(c)
+	st.recordSearch(c)
 	return out
 }
 
@@ -90,7 +94,11 @@ func (t *Tree[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) [
 // rank by geographic distance while treating time as a pure filter,
 // bounded at the radius of view (beyond which coverage is impossible).
 func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDist2 float64, keep func(Rect, T) bool) []Neighbor[T] {
-	if k <= 0 || t.size == 0 {
+	return weightedNearest(t.root, t.size, t.opts.MaxEntries, p, w, k, maxDist2, keep, &t.stats)
+}
+
+func weightedNearest[T any](root *node[T], size, maxEntries int, p, w [Dims]float64, k int, maxDist2 float64, keep func(Rect, T) bool, st *stats) []Neighbor[T] {
+	if k <= 0 || size == 0 {
 		return nil
 	}
 	dist := func(r Rect) float64 {
@@ -111,8 +119,8 @@ func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDi
 		}
 		return sum
 	}
-	q := make(knnQueue[T], 0, t.opts.MaxEntries*2)
-	heap.Push(&q, knnItem[T]{dist2: 0, node: t.root})
+	q := make(knnQueue[T], 0, maxEntries*2)
+	heap.Push(&q, knnItem[T]{dist2: 0, node: root})
 	out := make([]Neighbor[T], 0, k)
 	var c searchCounters
 	for q.Len() > 0 && len(out) < k {
@@ -140,6 +148,6 @@ func (t *Tree[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDi
 			heap.Push(&q, child)
 		}
 	}
-	t.recordSearch(c)
+	st.recordSearch(c)
 	return out
 }

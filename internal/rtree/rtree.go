@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // SplitAlgorithm selects the node-split heuristic used on overflow.
@@ -81,8 +82,14 @@ type entry[T any] struct {
 }
 
 // node is a tree node. All leaves are at the same depth.
+//
+// gen is the write generation the node belongs to. A node whose gen
+// equals the tree's current writeGen is exclusively owned by the writer
+// and may be mutated in place; any other node may be shared with a
+// published Snapshot and must be cloned before mutation (copy-on-write).
 type node[T any] struct {
 	leaf    bool
+	gen     uint64
 	entries []entry[T]
 }
 
@@ -103,6 +110,15 @@ type Tree[T any] struct {
 	size   int
 	packed bool // built by BulkLoad: tail nodes may be under-filled
 	stats  stats
+
+	// writeGen is the current write generation: nodes stamped with it are
+	// writer-owned, everything older is frozen (possibly shared with a
+	// published Snapshot). Publish bumps it, freezing the whole tree.
+	writeGen uint64
+	// snap is the most recently published read-only snapshot. Readers load
+	// it without any coordination with the writer; mutators require the
+	// caller's usual external serialization.
+	snap atomic.Pointer[Snapshot[T]]
 }
 
 // New returns an empty tree, or an error for invalid options.
@@ -111,11 +127,13 @@ func New[T any](opts Options) (*Tree[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tree[T]{
+	t := &Tree[T]{
 		opts:   o,
 		root:   &node[T]{leaf: true},
 		height: 1,
-	}, nil
+	}
+	t.Publish() // a tree always has a (possibly empty) snapshot
+	return t, nil
 }
 
 // MustNew is New for known-good options (used by package-internal callers
@@ -154,16 +172,21 @@ func (t *Tree[T]) Insert(r Rect, data T) error {
 func (t *Tree[T]) insertAtLevel(e entry[T], level int) {
 	leafPath := t.choosePath(e.rect, level)
 	n := leafPath[len(leafPath)-1]
+	t.assertMutable(n)
 	n.entries = append(n.entries, e)
 	t.adjustPath(leafPath)
 }
 
 // choosePath descends from the root to the node at the target level,
 // choosing at each step the child whose rectangle needs least enlargement
-// (ChooseLeaf / ChooseSubtree), and returns the visited nodes.
+// (ChooseLeaf / ChooseSubtree), and returns the visited nodes. Every node
+// on the returned path is writer-owned: shared (published) nodes are
+// cloned during the descent and re-linked into their parents, so the
+// caller may mutate path nodes freely.
 func (t *Tree[T]) choosePath(r Rect, level int) []*node[T] {
 	path := make([]*node[T], 0, t.height)
-	n := t.root
+	n := t.mutable(t.root)
+	t.root = n
 	depth := t.height // level of n, counted from leaves
 	path = append(path, n)
 	for depth > level {
@@ -176,7 +199,9 @@ func (t *Tree[T]) choosePath(r Rect, level int) []*node[T] {
 				best, bestArea, bestMargin, bestSize = i, dArea, dMargin, size
 			}
 		}
-		n = n.entries[best].child
+		child := t.mutable(n.entries[best].child)
+		n.entries[best].child = child
+		n = child
 		path = append(path, n)
 		depth--
 	}
@@ -210,6 +235,7 @@ func (t *Tree[T]) adjustPath(path []*node[T]) {
 			// Root split: the tree grows a level.
 			t.root = &node[T]{
 				leaf: false,
+				gen:  t.writeGen,
 				entries: []entry[T]{
 					{rect: left.mbr(), child: left},
 					{rect: right.mbr(), child: right},
@@ -219,6 +245,7 @@ func (t *Tree[T]) adjustPath(path []*node[T]) {
 			return
 		}
 		parent := path[i-1]
+		t.assertMutable(parent)
 		// Replace n's slot with left, append right.
 		for j := range parent.entries {
 			if parent.entries[j].child == n {
@@ -236,6 +263,7 @@ func (t *Tree[T]) tightenParent(path []*node[T], i int) {
 		return
 	}
 	n, parent := path[i], path[i-1]
+	t.assertMutable(parent)
 	for j := range parent.entries {
 		if parent.entries[j].child == n {
 			parent.entries[j].rect = n.mbr()
@@ -248,13 +276,14 @@ func (t *Tree[T]) tightenParent(path []*node[T], i int) {
 // using the configured heuristic. The receiver node is reused as the left
 // half.
 func (t *Tree[T]) splitNode(n *node[T]) (left, right *node[T]) {
+	t.assertMutable(n)
 	t.stats.splits.Add(1)
 	entries := n.entries
 	if t.opts.Split == RStarSplit {
 		l, r := rstarSplit(entries, t.opts.MinEntries)
 		left = n
 		left.entries = append(left.entries[:0], l...)
-		right = &node[T]{leaf: n.leaf, entries: append([]entry[T](nil), r...)}
+		right = &node[T]{leaf: n.leaf, gen: t.writeGen, entries: append([]entry[T](nil), r...)}
 		return left, right
 	}
 	var seedA, seedB int
@@ -265,7 +294,7 @@ func (t *Tree[T]) splitNode(n *node[T]) (left, right *node[T]) {
 	}
 
 	left = n
-	right = &node[T]{leaf: n.leaf}
+	right = &node[T]{leaf: n.leaf, gen: t.writeGen}
 	la := entries[seedA]
 	lb := entries[seedB]
 	rest := make([]entry[T], 0, len(entries)-2)
@@ -417,12 +446,12 @@ func (t *Tree[T]) Search(q Rect, fn func(Rect, T) bool) {
 // a query trace records.
 func (t *Tree[T]) SearchCounted(q Rect, fn func(Rect, T) bool) (nodesVisited, leafEntriesScanned int64) {
 	var c searchCounters
-	t.search(t.root, q, fn, &c)
-	t.recordSearch(c)
+	searchNode(t.root, q, fn, &c)
+	t.stats.recordSearch(c)
 	return c.nodes, c.leafs
 }
 
-func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool, c *searchCounters) bool {
+func searchNode[T any](n *node[T], q Rect, fn func(Rect, T) bool, c *searchCounters) bool {
 	c.nodes++
 	if n.leaf {
 		c.leafs += int64(len(n.entries))
@@ -435,7 +464,7 @@ func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool, c *searchCou
 			if !fn(e.rect, e.data) {
 				return false
 			}
-		} else if !t.search(e.child, q, fn, c) {
+		} else if !searchNode(e.child, q, fn, c) {
 			return false
 		}
 	}
@@ -454,16 +483,16 @@ func (t *Tree[T]) SearchAll(q Rect) []T {
 
 // Scan calls fn for every stored item. Return false to stop early.
 func (t *Tree[T]) Scan(fn func(Rect, T) bool) {
-	t.scan(t.root, fn)
+	scanNode(t.root, fn)
 }
 
-func (t *Tree[T]) scan(n *node[T], fn func(Rect, T) bool) bool {
+func scanNode[T any](n *node[T], fn func(Rect, T) bool) bool {
 	for _, e := range n.entries {
 		if n.leaf {
 			if !fn(e.rect, e.data) {
 				return false
 			}
-		} else if !t.scan(e.child, fn) {
+		} else if !scanNode(e.child, fn) {
 			return false
 		}
 	}

@@ -1,0 +1,151 @@
+package rtree
+
+// Snapshot is an immutable point-in-time view of a Tree, published by the
+// writer with Publish and loaded by readers with Tree.Snapshot. Readers
+// traverse the frozen node graph with no locks and no coordination with
+// the writer: copy-on-write mutation guarantees no published node is ever
+// written again, so a reader can never observe torn state, and every read
+// is consistent with exactly the publish it loaded (the epoch).
+//
+// Search statistics recorded through a snapshot accumulate into the
+// owning tree's lifetime counters (the stats block is shared and atomic),
+// so metrics keep counting regardless of which path served the read.
+type Snapshot[T any] struct {
+	root   *node[T]
+	height int
+	size   int
+	epoch  uint64
+	opts   Options
+	packed bool
+	stats  *stats
+}
+
+// Snapshot returns the most recently published read-only view. It is
+// safe to call concurrently with a writer; the result is never nil for a
+// tree built by New or BulkLoad.
+func (t *Tree[T]) Snapshot() *Snapshot[T] { return t.snap.Load() }
+
+// Publish freezes the tree's current state into a new immutable Snapshot,
+// makes it the one Tree.Snapshot returns, and bumps the write generation
+// so any later mutation clones shared nodes instead of writing them in
+// place. Publish must be called from the (externally serialized) writer;
+// batching several mutations under one Publish makes them visible to
+// readers atomically.
+//
+// The snapshot epoch increases by exactly 1 per publish and always equals
+// the tree's post-publish write generation.
+func (t *Tree[T]) Publish() *Snapshot[T] {
+	epoch := uint64(1)
+	if prev := t.snap.Load(); prev != nil {
+		epoch = prev.epoch + 1
+	}
+	s := &Snapshot[T]{
+		root:   t.root,
+		height: t.height,
+		size:   t.size,
+		epoch:  epoch,
+		opts:   t.opts,
+		packed: t.packed,
+		stats:  &t.stats,
+	}
+	t.snap.Store(s)
+	t.writeGen++ // freeze every current node: future mutations must clone
+	return s
+}
+
+// mutable returns a node the writer may mutate in place: n itself when it
+// already belongs to the current write generation, otherwise a clone with
+// freshly copied entries. The caller must re-link the returned node into
+// its parent (or the root).
+func (t *Tree[T]) mutable(n *node[T]) *node[T] {
+	if n.gen == t.writeGen {
+		return n
+	}
+	c := &node[T]{
+		leaf: n.leaf,
+		gen:  t.writeGen,
+		// One spare slot: the common next step is appending an entry.
+		entries: append(make([]entry[T], 0, len(n.entries)+1), n.entries...),
+	}
+	return c
+}
+
+// assertMutable panics if the writer is about to mutate a node that may
+// be shared with a published snapshot. Compiled out unless the fovrdebug
+// build tag is set (immutableChecks is a constant).
+func (t *Tree[T]) assertMutable(n *node[T]) {
+	if immutableChecks && n.gen != t.writeGen {
+		panic("rtree: write to a node owned by a published snapshot")
+	}
+}
+
+// Epoch identifies the publish that produced this snapshot; it increases
+// by 1 per publish on the owning tree.
+func (s *Snapshot[T]) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of items in the snapshot.
+func (s *Snapshot[T]) Len() int { return s.size }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (s *Snapshot[T]) Height() int { return s.height }
+
+// Search calls fn for every item in the snapshot whose rectangle
+// intersects q. Return false from fn to stop early.
+func (s *Snapshot[T]) Search(q Rect, fn func(Rect, T) bool) {
+	s.SearchCounted(q, fn)
+}
+
+// SearchCounted is Search, additionally reporting this traversal's node
+// visits and leaf entries scanned (the same per-call costs
+// Tree.SearchCounted reports).
+func (s *Snapshot[T]) SearchCounted(q Rect, fn func(Rect, T) bool) (nodesVisited, leafEntriesScanned int64) {
+	var c searchCounters
+	searchNode(s.root, q, fn, &c)
+	s.stats.recordSearch(c)
+	return c.nodes, c.leafs
+}
+
+// SearchAll collects all items intersecting q.
+func (s *Snapshot[T]) SearchAll(q Rect) []T {
+	var out []T
+	s.Search(q, func(_ Rect, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Scan calls fn for every item in the snapshot. Return false to stop.
+func (s *Snapshot[T]) Scan(fn func(Rect, T) bool) {
+	scanNode(s.root, fn)
+}
+
+// Bounds returns the MBR of the snapshot and whether it is non-empty.
+func (s *Snapshot[T]) Bounds() (Rect, bool) {
+	if s.size == 0 {
+		return Rect{}, false
+	}
+	return s.root.mbr(), true
+}
+
+// NearestFunc is the snapshot edition of Tree.NearestFunc.
+func (s *Snapshot[T]) NearestFunc(p [Dims]float64, k int, keep func(Rect, T) bool) []Neighbor[T] {
+	return nearestFunc(s.root, s.size, s.opts.MaxEntries, p, k, keep, s.stats)
+}
+
+// WeightedNearest is the snapshot edition of Tree.WeightedNearest.
+func (s *Snapshot[T]) WeightedNearest(p [Dims]float64, w [Dims]float64, k int, maxDist2 float64, keep func(Rect, T) bool) []Neighbor[T] {
+	return weightedNearest(s.root, s.size, s.opts.MaxEntries, p, w, k, maxDist2, keep, s.stats)
+}
+
+// NodeCount returns the number of nodes in the snapshot.
+func (s *Snapshot[T]) NodeCount() int { return countNodes(s.root) }
+
+// CheckInvariants verifies the snapshot's structural invariants (same
+// checks as Tree.CheckInvariants, against the snapshot's own height and
+// size).
+func (s *Snapshot[T]) CheckInvariants() error {
+	return checkTree(s.root, checkParams{
+		height: s.height, size: s.size, opts: s.opts, packed: s.packed,
+	})
+}

@@ -59,8 +59,11 @@ type searchCounters struct {
 	leafs int64
 }
 
-func (t *Tree[T]) recordSearch(c searchCounters) {
-	t.stats.searches.Add(1)
-	t.stats.nodeVisits.Add(c.nodes)
-	t.stats.leafScans.Add(c.leafs)
+// recordSearch folds one traversal's counters into the lifetime totals.
+// It is a method on the atomic stats block (not the Tree) so snapshots,
+// which share the owning tree's stats, can record through the same path.
+func (s *stats) recordSearch(c searchCounters) {
+	s.searches.Add(1)
+	s.nodeVisits.Add(c.nodes)
+	s.leafScans.Add(c.leafs)
 }

@@ -109,7 +109,7 @@ func (s *Server) checkIndex() obs.HealthCheck {
 		"kind":    s.cfg.IndexKind,
 		"entries": idx.Len(),
 	}
-	sh, ok := idx.(*index.Sharded)
+	sh, ok := unwrapIndex(idx).(*index.Sharded)
 	if !ok {
 		return check
 	}

@@ -128,6 +128,14 @@ type Config struct {
 	// HotspotCellDegrees is the grid cell size the query-cell sketch
 	// buckets query centers into. Zero selects 0.01° (~1.1 km).
 	HotspotCellDegrees float64
+	// ReadCache enables the hot-cell result cache in front of the index:
+	// repeated box searches over unchanged shards are answered from
+	// cached snapshot results (epoch-validated, never stale). Exposed as
+	// fovr_readcache_* metrics; set by fovserver -read-cache.
+	ReadCache bool
+	// ReadCacheCapacity bounds the number of cached query boxes when
+	// ReadCache is on. Zero selects the index package default (1024).
+	ReadCacheCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +206,35 @@ func (c Config) attachLockClass(idx index.ServerIndex) {
 	}
 }
 
+// wrapReadCache puts the hot-cell read cache in front of a freshly
+// built index when the config asks for one. Both server index kinds
+// support snapshot reads, so the wrap cannot fail for them; the error
+// path guards against future kinds that don't.
+func (c Config) wrapReadCache(idx index.ServerIndex) (index.ServerIndex, error) {
+	if !c.ReadCache {
+		return idx, nil
+	}
+	cached, err := index.NewReadCache(idx, index.ReadCacheOptions{
+		Capacity:    c.ReadCacheCapacity,
+		CellDegrees: c.HotspotCellDegrees,
+		Registry:    c.Registry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: read cache: %w", err)
+	}
+	return cached, nil
+}
+
+// unwrapIndex strips a read-cache wrapper, exposing the concrete index
+// for kind-specific handling (per-shard metrics teardown, health
+// checks).
+func unwrapIndex(idx index.ServerIndex) index.ServerIndex {
+	if c, ok := idx.(*index.ReadCache); ok {
+		return c.Unwrap()
+	}
+	return idx
+}
+
 func (c Config) shardedOptions() index.ShardedOptions {
 	return index.ShardedOptions{
 		WindowMillis: c.ShardWindow.Milliseconds(),
@@ -262,6 +299,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cfg.attachLockClass(idx)
+	if idx, err = cfg.wrapReadCache(idx); err != nil {
+		return nil, err
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(nopHandler{})
@@ -513,31 +553,46 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 func (s *Server) ResetState(entries []index.Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Drop the replaced index's per-shard gauges first: the restored
-	// index re-registers the names it still uses, and shards that no
-	// longer exist must not linger on /metrics.
-	old, _ := s.idx.(*index.Sharded)
+	// Drop the replaced index's per-shard gauges (and any read-cache
+	// counters) first: the restored index re-registers the names it still
+	// uses, and shards that no longer exist must not linger on /metrics.
+	oldCache, _ := s.idx.(*index.ReadCache)
+	old, _ := unwrapIndex(s.idx).(*index.Sharded)
 	if old != nil {
 		old.UnregisterMetrics()
 	}
-	idx, err := s.cfg.loadIndex(entries)
-	if err != nil {
+	if oldCache != nil {
+		oldCache.UnregisterMetrics()
+	}
+	restoreOld := func() {
 		if old != nil {
 			old.RegisterMetrics()
 		}
+		if oldCache != nil {
+			oldCache.RegisterMetrics()
+		}
+	}
+	idx, err := s.cfg.loadIndex(entries)
+	if err != nil {
+		restoreOld()
 		return err
 	}
 	s.cfg.attachLockClass(idx)
+	if idx, err = s.cfg.wrapReadCache(idx); err != nil {
+		restoreOld()
+		return err
+	}
 	// The restored state replaces the journaled history wholesale; a
 	// durable store checkpoints it immediately so the data directory
 	// reflects the snapshot, not a log of a superseded past.
 	if err := s.store.Reset(entries); err != nil {
-		if swapped, ok := idx.(*index.Sharded); ok {
+		if swapped, ok := unwrapIndex(idx).(*index.Sharded); ok {
 			swapped.UnregisterMetrics()
 		}
-		if old != nil {
-			old.RegisterMetrics()
+		if c, ok := idx.(*index.ReadCache); ok {
+			c.UnregisterMetrics()
 		}
+		restoreOld()
 		return fmt.Errorf("server: reset store: %w", err)
 	}
 	s.idx = idx
