@@ -14,6 +14,7 @@
 //	fovctl -server http://127.0.0.1:8477 checkpoint
 //	fovctl -server http://127.0.0.1:8477 stats
 //	fovctl -server http://127.0.0.1:8479 replication
+//	fovctl -server http://127.0.0.1:8477 storage
 //	fovctl -server http://127.0.0.1:8477 top -interval 2s
 //	fovctl -server http://127.0.0.1:8477 hotspots -top 10
 //	fovctl -server http://127.0.0.1:8477 contend -top 10
@@ -73,6 +74,8 @@ func main() {
 		err = runStats(c)
 	case "replication":
 		err = runReplication(c)
+	case "storage":
+		err = runStorage(c)
 	case "top":
 		err = runTop(c, args[1:])
 	case "hotspots":
@@ -95,7 +98,7 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|top|hotspots|contend|health> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|storage|top|hotspots|contend|health> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
   explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
@@ -106,6 +109,7 @@ func usage() {
   checkpoint
   stats
   replication
+  storage  tiered storage state (segments, memtable, compaction) from /stats
   top      [-interval 2s] [-n 0] [-plain]   live ops dashboard over /debug/history
   hotspots [-top 10] [-n 1] [-interval 2s] [-plain]   heavy-hitter sketches from /debug/hotspots
   contend  [-top 10] [-n 1] [-interval 2s] [-plain]   lock wait/hold + profile tops from /debug/contention
@@ -327,9 +331,14 @@ func runReplication(c *client.Client) error {
 	}
 	fmt.Printf("state: %s  caught up: %v\n", r.State, r.CaughtUp)
 	fmt.Printf("cursor: %s  leader head: %s", r.Cursor, r.Lead)
-	if r.LagBytes >= 0 {
+	switch {
+	case r.State == "bootstrapping":
+		// No batch applied yet: LagBytes holds the -1 sentinel, not a
+		// measurement.
+		fmt.Printf("  lag: bootstrapping")
+	case r.LagBytes >= 0:
 		fmt.Printf("  lag: %d bytes", r.LagBytes)
-	} else {
+	default:
 		fmt.Printf("  lag: unknown (behind a generation)")
 	}
 	fmt.Println()

@@ -1,0 +1,43 @@
+// The storage subcommand: the tiered storage block of /stats — how the
+// durable store is split between the mutable memtable and the sealed
+// per-window segment files, and whether the compactor is keeping up.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fovr/internal/client"
+)
+
+// runStorage prints the tiered storage state, or the store's role when
+// tiering is off.
+func runStorage(c *client.Client) error {
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	s := st.Storage
+	if s == nil || !s.Enabled {
+		if !st.Durable {
+			fmt.Println("storage: in-memory (no -data-dir)")
+			return nil
+		}
+		fmt.Println("storage: flat durable store (tiering off; enable with -segment-window-age)")
+		return nil
+	}
+	fmt.Printf("storage: tiered, window %s\n", millisDuration(s.SegmentWindowMillis))
+	fmt.Printf("  sealed:   %d segments, %d entries, %s on disk\n",
+		s.Segments, s.SegmentEntries, topBytes(float64(s.SegmentBytes)))
+	fmt.Printf("  memtable: %d entries\n", s.MemtableEntries)
+	fmt.Printf("  tombstones: %d  staged segments: %d\n", s.Tombstones, s.StagedSegments)
+	fmt.Printf("  compaction: backlog %d windows, %d runs total\n",
+		s.CompactionBacklog, s.Compactions)
+	return nil
+}
+
+// millisDuration renders a millisecond span the way flag inputs are
+// written (1h, 30m, ...).
+func millisDuration(ms int64) string {
+	return (time.Duration(ms) * time.Millisecond).String()
+}

@@ -101,10 +101,21 @@ func topFrame(c *client.Client) (string, error) {
 		b.WriteString(line)
 	}
 
+	if s := st.Storage; s != nil && s.Enabled {
+		fmt.Fprintf(&b, "storage: %d segments (%s, %d entries)  memtable %d  backlog %d  %.1f compactions/s\n",
+			s.Segments, topBytes(float64(s.SegmentBytes)), s.SegmentEntries,
+			s.MemtableEntries, s.CompactionBacklog,
+			last["fovr_store_compactions_total"])
+	}
 	if st.ReadOnly && st.Replication != nil {
 		r := st.Replication
 		lag := "unknown (behind a generation)"
-		if r.LagBytes >= 0 {
+		switch {
+		case r.State == "bootstrapping":
+			// No batch applied yet: LagBytes is the -1 sentinel, not a
+			// measurement.
+			lag = "bootstrapping"
+		case r.LagBytes >= 0:
 			lag = topBytes(float64(r.LagBytes))
 		}
 		fmt.Fprintf(&b, "replica: leader=%s state=%s caughtUp=%v lag=%s applied=%d\n",

@@ -8,6 +8,7 @@
 //	fovserver [-addr :8477] [-half-angle 30] [-radius 100] [-max-results 20]
 //	          [-index rtree|sharded] [-shard-window 1h] [-shard-workers 0]
 //	          [-data-dir dir] [-fsync always|interval|never] [-checkpoint-interval 5m]
+//	          [-segment-window-age 0] [-compaction-interval 1m]
 //	          [-replica-of http://leader:8477] [-replica-poll 10s]
 //	          [-quiet] [-log-json] [-load snapshot.fovs] [-save snapshot.fovs]
 //	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
@@ -23,6 +24,16 @@
 // leaves syncing to the OS. Without -data-dir state is in RAM only, as
 // before.
 //
+// -segment-window-age enables tiered storage inside -data-dir: time
+// windows (width -shard-window) whose end is at least this much older
+// than now are sealed by a background compactor (period
+// -compaction-interval) into immutable, compressed, CRC-framed segment
+// files; the WAL and checkpoints then carry only the mutable memtable,
+// so checkpoints shrink to the working set and a restart loads cold
+// windows straight from their segments. With -index=sharded and the
+// same window width, each sealed segment bulk-loads directly into its
+// own time shard. 0 (the default) keeps the flat store layout.
+//
 // -replica-of makes this process a read replica of the leader at the
 // given base URL: it bootstraps from the leader's state, tails the
 // leader's write-ahead log (long-polling every -replica-poll), serves
@@ -32,7 +43,11 @@
 // the latest checkpoint automatically. Combine with -data-dir to make
 // the replica durable, which is also the failover path: restart it
 // without -replica-of and it serves the replicated state as a writable
-// leader.
+// leader. When both sides tier (-segment-window-age on leader and
+// replica), the bootstrap streams sealed segments individually and each
+// installed segment is durable before the next is fetched, so a replica
+// killed mid-bootstrap resumes without refetching any completed
+// segment.
 //
 // -index selects the spatio-temporal index implementation: "rtree" (one
 // global 3-D R-tree, the paper's design) or "sharded" (per-time-window
@@ -111,6 +126,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "data directory for the durable store (WAL + checkpoints); empty keeps state in RAM only")
 	fsyncPolicy := flag.String("fsync", "always", "WAL sync policy with -data-dir: always | interval | never")
 	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint period with -data-dir (0 disables)")
+	segmentWindowAge := flag.Duration("segment-window-age", 0, "with -data-dir: seal time windows this much older than now into immutable segment files (0 disables tiering)")
+	compactionInterval := flag.Duration("compaction-interval", time.Minute, "background segment seal/compaction period with -segment-window-age (0 disables the loop)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	logJSON := flag.Bool("log-json", false, "emit JSON request logs instead of key=value")
 	load := flag.String("load", "", "snapshot file to restore state from at startup (see GET /snapshot)")
@@ -190,10 +207,17 @@ func main() {
 		if interval == 0 {
 			interval = -1 // flag 0 means "off"; Options zero means "default"
 		}
+		compaction := *compactionInterval
+		if compaction == 0 {
+			compaction = -1 // flag 0 means "off"; Options zero means "default"
+		}
 		st, err = store.Open(store.Options{
 			Dir:                *dataDir,
 			Fsync:              policy,
 			CheckpointInterval: interval,
+			SegmentWindow:      *shardWindow,
+			SegmentWindowAge:   *segmentWindowAge,
+			CompactionInterval: compaction,
 			Logger:             logger,
 		})
 		if err != nil {
@@ -227,13 +251,19 @@ func main() {
 	}
 	var fol *replica.Follower
 	if *replicaOf != "" {
-		fol, err = replica.Start(replica.Options{
+		opts := replica.Options{
 			Fetch:    client.NewReplicator(*replicaOf),
 			Apply:    srv,
 			Poll:     *replicaPoll,
 			Registry: srv.Registry(),
 			Logger:   logger,
-		})
+		}
+		if st != nil && st.Tiered() {
+			// Durable tiered replica: bootstrap segment-wise with
+			// per-segment resume instead of one monolithic snapshot.
+			opts.Segments = srv
+		}
+		fol, err = replica.Start(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fovserver:", err)
 			os.Exit(1)

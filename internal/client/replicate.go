@@ -6,6 +6,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -124,6 +125,121 @@ func (r *Replicator) fetchOnce(ctx context.Context, url string) (*replica.Batch,
 		return nil, false, fmt.Errorf("client: replicate: unknown stream kind %q", b.Kind)
 	}
 	return b, false, nil
+}
+
+// FetchManifest pulls the leader's cold-tier manifest (?manifest=1). A
+// leader that answers with a legacy stream kind — old binary, non-tiered
+// store — yields replica.ErrTieredUnsupported so the follower falls
+// back to the monolithic snapshot.
+func (r *Replicator) FetchManifest(ctx context.Context) (*replica.ManifestBatch, error) {
+	url := r.BaseURL + "/replicate?manifest=1"
+	var mb *replica.ManifestBatch
+	err := r.tieredFetch(ctx, url, replica.StreamManifest, func(resp *http.Response, body io.Reader) error {
+		mb = &replica.ManifestBatch{StoreID: resp.Header.Get(replica.HeaderStoreID)}
+		mb.Lead.Gen, _ = strconv.ParseUint(resp.Header.Get(replica.HeaderLeadGen), 10, 64)
+		mb.Lead.Off, _ = strconv.ParseInt(resp.Header.Get(replica.HeaderLeadOff), 10, 64)
+		if err := json.NewDecoder(io.LimitReader(body, 64<<20)).Decode(&mb.Manifest); err != nil {
+			return fmt.Errorf("client: replicate manifest: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mb, nil
+}
+
+// FetchSegment pulls one sealed segment's verbatim file bytes
+// (?segment=W&seq=N). The caller verifies them against the manifest's
+// CRC on install.
+func (r *Replicator) FetchSegment(ctx context.Context, window int64, seq uint64) ([]byte, error) {
+	url := fmt.Sprintf("%s/replicate?segment=%d&seq=%d", r.BaseURL, window, seq)
+	var raw []byte
+	err := r.tieredFetch(ctx, url, replica.StreamSegment, func(resp *http.Response, body io.Reader) error {
+		var err error
+		raw, err = io.ReadAll(body)
+		if err != nil {
+			return fmt.Errorf("client: replicate segment: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// FetchMem pulls the leader's memtable (?mem=1) as a snapshot-format
+// batch stamped with the WAL cursor to stream from and the manifest
+// hash the capture was consistent with.
+func (r *Replicator) FetchMem(ctx context.Context) (*replica.Batch, error) {
+	url := r.BaseURL + "/replicate?mem=1"
+	var b *replica.Batch
+	err := r.tieredFetch(ctx, url, replica.StreamMem, func(resp *http.Response, body io.Reader) error {
+		b = &replica.Batch{
+			Kind:    replica.StreamMem,
+			StoreID: resp.Header.Get(replica.HeaderStoreID),
+		}
+		b.Next.Gen, _ = strconv.ParseUint(resp.Header.Get(replica.HeaderNextGen), 10, 64)
+		b.Next.Off, _ = strconv.ParseInt(resp.Header.Get(replica.HeaderNextOff), 10, 64)
+		b.Lead.Gen, _ = strconv.ParseUint(resp.Header.Get(replica.HeaderLeadGen), 10, 64)
+		b.Lead.Off, _ = strconv.ParseInt(resp.Header.Get(replica.HeaderLeadOff), 10, 64)
+		b.ManifestHash, _ = strconv.ParseUint(resp.Header.Get(replica.HeaderManifestHash), 10, 64)
+		entries, err := snapshot.Read(body)
+		if err != nil {
+			return fmt.Errorf("client: replicate mem snapshot: %w", err)
+		}
+		b.Entries = entries
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// tieredFetch runs one tiered bootstrap leg with the standard retry
+// policy: checks the stream kind BEFORE consuming the body (a legacy
+// leader answers these URLs with a full snapshot — detecting the kind
+// first avoids downloading it), then hands response and counted body to
+// parse.
+func (r *Replicator) tieredFetch(ctx context.Context, url, wantKind string, parse func(*http.Response, io.Reader) error) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	return retryWithBackoff(r.MaxRetries, r.RetryDelay, replicaFetchRetries, func() (bool, error) {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return false, err
+		}
+		hc := r.HTTPClient
+		if hc == nil {
+			hc = &http.Client{}
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return !errors.Is(err, context.Canceled), err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+			retriable := resp.StatusCode == http.StatusBadGateway ||
+				resp.StatusCode == http.StatusServiceUnavailable ||
+				resp.StatusCode == http.StatusGatewayTimeout
+			return retriable, fmt.Errorf("client: replicate: %s: %s", resp.Status, bytes.TrimSpace(body))
+		}
+		if kind := resp.Header.Get(replica.HeaderStream); kind != wantKind {
+			return false, replica.ErrTieredUnsupported
+		}
+		cr := &countReader{r: resp.Body}
+		defer func() { clientReceivedBytes.Add(cr.n) }()
+		if err := parse(resp, cr); err != nil {
+			return true, err // damaged body; the leg can be re-requested
+		}
+		return false, nil
+	})
 }
 
 // countReader tallies bytes for the client traffic counter.

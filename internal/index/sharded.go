@@ -229,6 +229,65 @@ func BulkLoadSharded(opts ShardedOptions, entries []Entry) (*Sharded, error) {
 	return x, nil
 }
 
+// LoadWindowShard bulk-loads one closed time window's entries as a
+// single shard — the boot path for segment-backed windows. The store
+// hands over a sealed segment's decoded entries and the shard's R-tree
+// is bulk-built in one pass instead of insert-at-a-time, then
+// published into the COW view like any other shard update, so the
+// lock-free read path is unchanged. Every entry must start within
+// window key and be no longer than the shard window, and the window
+// must not exist yet; use InsertBatch for anything else.
+func (x *Sharded) LoadWindowShard(key int64, entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	for _, e := range entries {
+		if e.Rep.EndMillis-e.Rep.StartMillis > x.window {
+			return fmt.Errorf("index: entry %d is longer than the shard window, cannot window-load", e.ID)
+		}
+		if got := floorDiv(e.Rep.StartMillis, x.window); got != key {
+			return fmt.Errorf("index: entry %d starts in window %d, not %d", e.ID, got, key)
+		}
+	}
+	rt, err := BulkLoadRTree(x.opts.Tree, entries) // validates, rejects in-batch duplicates
+	if err != nil {
+		return err
+	}
+	rt.SetLockClass(x.shardLocks)
+	sh := &shard{label: fmt.Sprintf("t%d", key), rt: rt, key: key, spatialIdx: -1}
+	x.mu.Lock()
+	if x.timeShards[key] != nil {
+		x.mu.Unlock()
+		return fmt.Errorf("index: window shard %d already exists", key)
+	}
+	x.timeShards[key] = sh
+	x.mu.Unlock()
+	for i, e := range entries {
+		st := x.stripe(e.ID)
+		lt := x.stripeLocks.Start()
+		st.mu.Lock()
+		lt.Acquired()
+		_, dup := st.refs[e.ID]
+		if !dup {
+			st.refs[e.ID] = shardRef{s: sh}
+		}
+		st.mu.Unlock()
+		lt.Released()
+		if dup {
+			// Already present in another shard: unwind completely.
+			x.unregister(entries[:i])
+			x.mu.Lock()
+			delete(x.timeShards, key)
+			x.mu.Unlock()
+			return fmt.Errorf("index: duplicate id %d", e.ID)
+		}
+	}
+	x.count.Add(int64(len(entries)))
+	x.registerShardMetrics(sh)
+	x.publishView(shardDelta{sh: sh, snap: sh.rt.tree.Snapshot()})
+	return nil
+}
+
 // RegisterMetrics (re-)registers the index's metrics with the
 // configured registry: the fovr_index_shards gauge, the per-shard
 // entry/node gauges, and the fan-out width histogram. NewSharded calls

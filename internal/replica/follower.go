@@ -42,6 +42,10 @@ type Options struct {
 	Fetch Fetcher
 	// Apply folds batches into local state. Required.
 	Apply Applier
+	// Segments, when non-nil AND Fetch implements TieredFetcher, enables
+	// the segment-wise bootstrap with per-segment resume; nil keeps the
+	// legacy monolithic snapshot.
+	Segments SegmentSink
 	// Poll is the long-poll wait requested per fetch; it also paces the
 	// retry loop after fetch errors. Zero means 10s.
 	Poll time.Duration
@@ -92,11 +96,14 @@ type Follower struct {
 	st      Status
 	changed chan struct{} // closed+replaced on every status update
 
-	applied      *obs.Counter
-	appliedBytes *obs.Counter
-	bootstraps   *obs.Counter
-	fetchErrs    *obs.Counter
-	applyErrs    *obs.Counter
+	applied         *obs.Counter
+	appliedBytes    *obs.Counter
+	bootstraps      *obs.Counter
+	fetchErrs       *obs.Counter
+	applyErrs       *obs.Counter
+	segFetched      *obs.Counter
+	segSkipped      *obs.Counter
+	segFetchedBytes *obs.Counter
 }
 
 // Start validates opts, registers the replica metrics, and launches the
@@ -129,6 +136,9 @@ func Start(opts Options) (*Follower, error) {
 	f.bootstraps = reg.Counter("fovr_replica_bootstraps_total")
 	f.fetchErrs = reg.Counter("fovr_replica_fetch_errors_total")
 	f.applyErrs = reg.Counter("fovr_replica_apply_errors_total")
+	f.segFetched = reg.Counter("fovr_replica_segments_fetched_total")
+	f.segSkipped = reg.Counter("fovr_replica_segments_skipped_total")
+	f.segFetchedBytes = reg.Counter("fovr_replica_segment_fetched_bytes_total")
 	reg.GaugeFunc("fovr_replica_lag_bytes", func() float64 { return float64(f.Status().LagBytes) })
 	reg.GaugeFunc("fovr_replica_caught_up", func() float64 {
 		if f.Status().CaughtUp {
@@ -195,6 +205,27 @@ func (f *Follower) run() {
 	errDelay := time.Second
 	for f.ctx.Err() == nil {
 		cur := f.Status().Cursor
+		if cur.IsZero() && f.opts.Segments != nil {
+			if tf, ok := f.opts.Fetch.(TieredFetcher); ok {
+				switch err := f.bootstrapTiered(tf); {
+				case err == nil:
+					errDelay = time.Second
+					continue // cursor installed; stream the WAL tail
+				case errors.Is(err, ErrTieredUnsupported):
+					// Legacy snapshot this round; probe again next bootstrap.
+				default:
+					if f.ctx.Err() != nil {
+						return
+					}
+					f.fetchErrs.Inc()
+					f.update(func(st *Status) { st.FetchErrors++; st.LastError = err.Error(); st.CaughtUp = false })
+					f.log.Warn("replica tiered bootstrap failed", "err", err)
+					f.sleep(min(errDelay, f.opts.Poll))
+					errDelay = min(errDelay*2, 30*time.Second)
+					continue
+				}
+			}
+		}
 		start := time.Now()
 		b, err := f.opts.Fetch.Fetch(f.ctx, cur, f.opts.Poll)
 		if err != nil {

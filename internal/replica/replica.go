@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"fovr/internal/index"
+	"fovr/internal/store"
 )
 
 // Cursor is a replication position: the byte just past the last applied
@@ -54,21 +55,30 @@ func (c Cursor) IsZero() bool { return c.Gen == 0 }
 
 func (c Cursor) String() string { return fmt.Sprintf("%d/%d", c.Gen, c.Off) }
 
-// Stream kinds carried in the HeaderStream response header.
+// Stream kinds carried in the HeaderStream response header. The first
+// two are the legacy protocol; the last three are the segment-wise
+// bootstrap a tiered leader additionally serves (?manifest=1,
+// ?segment=W&seq=N, ?mem=1).
 const (
 	StreamSnapshot = "snapshot"
 	StreamWAL      = "wal"
+	StreamManifest = "manifest"
+	StreamSegment  = "segment"
+	StreamMem      = "memsnapshot"
 )
 
 // Protocol headers. Every /replicate response carries Stream, StoreID,
-// the Next cursor, and the Lead cursor.
+// the Next cursor, and the Lead cursor; memsnapshot responses also
+// carry ManifestHash so the follower can detect the sealed set moving
+// between its manifest fetch and its memtable fetch.
 const (
-	HeaderStream  = "X-Fovr-Stream"
-	HeaderStoreID = "X-Fovr-Store-Id"
-	HeaderNextGen = "X-Fovr-Next-Gen"
-	HeaderNextOff = "X-Fovr-Next-Off"
-	HeaderLeadGen = "X-Fovr-Lead-Gen"
-	HeaderLeadOff = "X-Fovr-Lead-Off"
+	HeaderStream       = "X-Fovr-Stream"
+	HeaderStoreID      = "X-Fovr-Store-Id"
+	HeaderNextGen      = "X-Fovr-Next-Gen"
+	HeaderNextOff      = "X-Fovr-Next-Off"
+	HeaderLeadGen      = "X-Fovr-Lead-Gen"
+	HeaderLeadOff      = "X-Fovr-Lead-Off"
+	HeaderManifestHash = "X-Fovr-Manifest-Hash"
 )
 
 // Batch is one decoded /replicate response.
@@ -87,4 +97,15 @@ type Batch struct {
 	// StoreID identifies the leader's data directory; a change mid-tail
 	// means the history was replaced and the follower must re-bootstrap.
 	StoreID string
+	// ManifestHash is the leader's manifest fingerprint the batch was
+	// captured against (StreamMem only).
+	ManifestHash uint64
+}
+
+// ManifestBatch is one decoded ?manifest=1 response: the leader's
+// cold-tier state plus the usual identity/lead headers.
+type ManifestBatch struct {
+	Manifest store.ManifestSnapshot
+	StoreID  string
+	Lead     Cursor
 }

@@ -4,6 +4,7 @@ package replica
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strconv"
@@ -32,6 +33,22 @@ type LogSource interface {
 	WaitForLog(ctx context.Context, gen uint64, off int64) error
 }
 
+// TieredSource is the additional leader surface for the segment-wise
+// bootstrap; a tiered *store.Disk implements it. A leader whose source
+// lacks it simply answers tiered query params with the legacy protocol
+// (the follower detects the kind header and falls back).
+type TieredSource interface {
+	LogSource
+	// ManifestSnapshot returns the served cold-tier state.
+	ManifestSnapshot() store.ManifestSnapshot
+	// ReadSegment returns the verbatim bytes of live segment (window,
+	// seq); an error means the manifest moved past it.
+	ReadSegment(window int64, seq uint64) ([]byte, error)
+	// CaptureMem atomically captures the memtable, its WAL cursor, and
+	// the manifest hash at that instant.
+	CaptureMem() (entries []index.Entry, gen uint64, off int64, hash uint64)
+}
+
 // MaxWait caps the client-requested long-poll hold. It must stay under
 // the API server's write timeout (30s), or idle polls would be cut off
 // as slow responses.
@@ -58,6 +75,21 @@ func Serve(w http.ResponseWriter, r *http.Request, src LogSource) (ServeResult, 
 	wait, _ := time.ParseDuration(q.Get("wait"))
 	if wait > MaxWait {
 		wait = MaxWait
+	}
+	// Segment-wise bootstrap legs, answered only by a tiered source; a
+	// legacy source ignores the params and serves a plain snapshot, which
+	// the client recognizes by the kind header and falls back on.
+	if ts, ok := src.(TieredSource); ok {
+		switch {
+		case q.Get("manifest") != "":
+			return serveManifest(w, ts)
+		case q.Get("segment") != "":
+			window, _ := strconv.ParseInt(q.Get("segment"), 10, 64)
+			seq, _ := strconv.ParseUint(q.Get("seq"), 10, 64)
+			return serveSegment(w, ts, window, seq)
+		case q.Get("mem") != "":
+			return serveMem(w, ts)
+		}
 	}
 	if gen == 0 {
 		return serveSnapshot(w, src)
@@ -129,4 +161,53 @@ func serveSnapshot(w http.ResponseWriter, src LogSource) (ServeResult, error) {
 	cw := &countWriter{w: w}
 	err := snapshot.Write(cw, entries)
 	return ServeResult{Stream: StreamSnapshot, Bytes: cw.n, Entries: len(entries)}, err
+}
+
+// serveManifest ships the cold-tier manifest as JSON: which segments a
+// bootstrapping follower needs, and the tombstones it installs with
+// them.
+func serveManifest(w http.ResponseWriter, src TieredSource) (ServeResult, error) {
+	ms := src.ManifestSnapshot()
+	w.Header().Set(HeaderStream, StreamManifest)
+	w.Header().Set("Content-Type", "application/json")
+	gen, off := src.LogCursor()
+	setCursorHeaders(w, src, Cursor{Gen: gen, Off: off})
+	data, err := json.Marshal(ms)
+	if err != nil {
+		http.Error(w, "replicate: "+err.Error(), http.StatusInternalServerError)
+		return ServeResult{}, err
+	}
+	n, err := w.Write(data)
+	return ServeResult{Stream: StreamManifest, Bytes: int64(n)}, err
+}
+
+// serveSegment ships one live segment's verbatim file bytes. A segment
+// the manifest has moved past answers 404; the follower refetches the
+// manifest.
+func serveSegment(w http.ResponseWriter, src TieredSource, window int64, seq uint64) (ServeResult, error) {
+	raw, err := src.ReadSegment(window, seq)
+	if err != nil {
+		http.Error(w, "replicate: "+err.Error(), http.StatusNotFound)
+		return ServeResult{Stream: StreamSegment}, nil
+	}
+	w.Header().Set(HeaderStream, StreamSegment)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	gen, off := src.LogCursor()
+	setCursorHeaders(w, src, Cursor{Gen: gen, Off: off})
+	n, err := w.Write(raw)
+	return ServeResult{Stream: StreamSegment, Bytes: int64(n)}, err
+}
+
+// serveMem ships the memtable in snapshot format, stamped with the WAL
+// cursor to resume streaming from and the manifest hash the capture
+// was consistent with.
+func serveMem(w http.ResponseWriter, src TieredSource) (ServeResult, error) {
+	entries, gen, off, hash := src.CaptureMem()
+	w.Header().Set(HeaderStream, StreamMem)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderManifestHash, strconv.FormatUint(hash, 10))
+	setCursorHeaders(w, src, Cursor{Gen: gen, Off: off})
+	cw := &countWriter{w: w}
+	err := snapshot.Write(cw, entries)
+	return ServeResult{Stream: StreamMem, Bytes: cw.n, Entries: len(entries)}, err
 }

@@ -45,6 +45,10 @@ const (
 	// cannot hold a stable tail.
 	bootstrapLoopWindow = 5 * time.Minute
 	bootstrapLoopCount  = 3
+	// compactionBacklogWarn degrades a tiered store when this many
+	// windows are waiting to be sealed or re-flushed: the compactor is
+	// not keeping up with window turnover.
+	compactionBacklogWarn = 8
 )
 
 // registerHealthChecks installs the store and index checkers. The
@@ -96,6 +100,18 @@ func (s *Server) checkStore() obs.HealthCheck {
 		check.Reasons = append(check.Reasons,
 			fmt.Sprintf("store: %s since last checkpoint with %d records pending (interval %s)",
 				h.SinceCheckpoint.Round(time.Second), h.AppendedSinceCheckpoint, h.CheckpointInterval))
+	}
+	if h.Tiered {
+		check.Details["tiered"] = true
+		check.Details["segments"] = h.Segments
+		check.Details["segmentBytes"] = h.SegmentBytes
+		check.Details["memtableEntries"] = h.MemtableEntries
+		check.Details["compactionBacklog"] = h.CompactionBacklog
+		if h.CompactionBacklog >= compactionBacklogWarn {
+			check.State = check.State.Worse(obs.HealthDegraded)
+			check.Reasons = append(check.Reasons,
+				fmt.Sprintf("store: %d windows awaiting compaction (warn at %d)", h.CompactionBacklog, compactionBacklogWarn))
+		}
 	}
 	return check
 }

@@ -196,6 +196,37 @@ func (c Config) loadIndex(entries []index.Entry) (index.ServerIndex, error) {
 	}
 }
 
+// loadIndexTiered bulk-builds the boot index window-by-window from a
+// tiered store's sealed segments when the sharded index's time windows
+// coincide with the store's segment windows: each sealed window loads
+// straight into its own shard (one STR build, no per-entry routing),
+// and only the memtable remainder goes through the general insert
+// path. Any mismatch — different index kind, different window size, an
+// entry violating the window math — falls back to the plain bulk load.
+func (c Config) loadIndexTiered(d *store.Disk, entries []index.Entry) (index.ServerIndex, error) {
+	if c.IndexKind != IndexKindSharded || d == nil || !d.Tiered() ||
+		d.SegmentWindowMillis() != c.shardedOptions().WindowMillis {
+		return c.loadIndex(entries)
+	}
+	sealed, rest := d.SealedWindows()
+	if len(sealed) == 0 {
+		return c.loadIndex(entries)
+	}
+	x, err := index.NewSharded(c.shardedOptions())
+	if err != nil {
+		return nil, err
+	}
+	for k, es := range sealed {
+		if err := x.LoadWindowShard(k, es); err != nil {
+			return c.loadIndex(entries)
+		}
+	}
+	if err := x.InsertBatch(rest); err != nil {
+		return c.loadIndex(entries)
+	}
+	return x, nil
+}
+
 // attachLockClass instruments a plain-RTree index's mutex with the
 // "index.tree" lock class (a Sharded index wires its own "index.shard"
 // and "index.idmap" classes in NewSharded). Called before the index is
@@ -290,10 +321,12 @@ func New(cfg Config) (*Server, error) {
 		err error
 	)
 	recovered := cfg.Store.Entries()
-	if len(recovered) > 0 {
-		idx, err = cfg.loadIndex(recovered)
-	} else {
+	switch {
+	case len(recovered) == 0:
 		idx, err = cfg.newIndex()
+	default:
+		d, _ := cfg.Store.(*store.Disk)
+		idx, err = cfg.loadIndexTiered(d, recovered)
 	}
 	if err != nil {
 		return nil, err
@@ -551,6 +584,15 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 // mutators it stays open on a read-only server, because shipped state is
 // the one thing a replica is allowed to write.
 func (s *Server) ResetState(entries []index.Entry) error {
+	return s.replaceState(entries, s.cfg.loadIndex, func() error { return s.store.Reset(entries) })
+}
+
+// replaceState swaps in a rebuilt index and persisted state under the
+// state lock: build the new index (via build), run the persistence step
+// (persist), then commit both. On any failure the old index — metrics
+// included — is restored untouched. ResetState and the tiered
+// bootstrap's FinishBootstrap are both thin wrappers over this.
+func (s *Server) replaceState(entries []index.Entry, build func([]index.Entry) (index.ServerIndex, error), persist func() error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Drop the replaced index's per-shard gauges (and any read-cache
@@ -572,7 +614,7 @@ func (s *Server) ResetState(entries []index.Entry) error {
 			oldCache.RegisterMetrics()
 		}
 	}
-	idx, err := s.cfg.loadIndex(entries)
+	idx, err := build(entries)
 	if err != nil {
 		restoreOld()
 		return err
@@ -585,7 +627,7 @@ func (s *Server) ResetState(entries []index.Entry) error {
 	// The restored state replaces the journaled history wholesale; a
 	// durable store checkpoints it immediately so the data directory
 	// reflects the snapshot, not a log of a superseded past.
-	if err := s.store.Reset(entries); err != nil {
+	if err := persist(); err != nil {
 		if swapped, ok := unwrapIndex(idx).(*index.Sharded); ok {
 			swapped.UnregisterMetrics()
 		}
@@ -996,6 +1038,9 @@ type Stats struct {
 	// Replication is the follower's live status (cursor, lag, error
 	// counters); only present on a read replica.
 	Replication *replica.Status `json:"replication,omitempty"`
+	// Storage is the tiered storage state (segments, memtable,
+	// compaction backlog); only present when the store tiers.
+	Storage *store.TieredStats `json:"storage,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1022,7 +1067,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ReadOnly:      s.cfg.ReadOnly,
 		Leader:        s.cfg.LeaderURL,
 		Replication:   s.replicationStatus(),
+		Storage:       s.storageStats(),
 	})
+}
+
+// storageStats returns the tiered storage snapshot for /stats, or nil
+// when the store does not tier.
+func (s *Server) storageStats() *store.TieredStats {
+	d, ok := s.store.(*store.Disk)
+	if !ok || !d.Tiered() {
+		return nil
+	}
+	ts := d.TieredStats()
+	return &ts
 }
 
 // CheckpointResponse acknowledges POST /checkpoint.

@@ -1,0 +1,308 @@
+// Tiered-bootstrap end-to-end tests: a follower killed mid-bootstrap
+// must resume segment-wise without refetching anything it already
+// installed. The byte accounting is exact — across both lives the
+// follower downloads each sealed segment exactly once. Lives in the
+// external test package because it drives real HTTP through
+// internal/client.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fovr/internal/client"
+	"fovr/internal/fov"
+	"fovr/internal/geo"
+	"fovr/internal/obs"
+	"fovr/internal/replica"
+	"fovr/internal/segment"
+	"fovr/internal/server"
+	"fovr/internal/store"
+	"fovr/internal/wire"
+)
+
+func tieredOpenDisk(t *testing.T, dir string) *store.Disk {
+	t.Helper()
+	st, err := store.Open(store.Options{
+		Dir:                dir,
+		CheckpointInterval: -1,
+		Registry:           obs.NewRegistry(),
+		SegmentWindow:      time.Minute,
+		SegmentWindowAge:   time.Millisecond,
+		CompactionInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// tieredUpload spreads n representatives across the given epoch-near
+// time window so a CompactNow seals them.
+func tieredUpload(provider string, window int64, n int) wire.Upload {
+	up := wire.Upload{Provider: provider, Reps: make([]segment.Representative, n)}
+	for i := range up.Reps {
+		start := window*60_000 + int64(i)*1000
+		up.Reps[i] = segment.Representative{
+			FoV:         fov.FoV{P: geo.Offset(opsCenter, float64(i*41%360), float64(3+i)), Theta: float64(i * 29 % 360)},
+			StartMillis: start,
+			EndMillis:   start + 500,
+		}
+	}
+	return up
+}
+
+// killFetcher wraps the real HTTP replicator and injects a failure on
+// every FetchSegment after failAfter successes — the "process killed
+// mid-bootstrap" stand-in. It also counts bytes and calls so the test
+// can do exact accounting.
+type killFetcher struct {
+	*client.Replicator
+	failAfter int // -1: never fail
+
+	mu         sync.Mutex
+	segCalls   int
+	segBytes   int64
+	legacyBoot int
+}
+
+func (k *killFetcher) FetchSegment(ctx context.Context, window int64, seq uint64) ([]byte, error) {
+	k.mu.Lock()
+	blocked := k.failAfter >= 0 && k.segCalls >= k.failAfter
+	k.mu.Unlock()
+	if blocked {
+		return nil, errors.New("injected mid-bootstrap kill")
+	}
+	raw, err := k.Replicator.FetchSegment(ctx, window, seq)
+	if err == nil {
+		k.mu.Lock()
+		k.segCalls++
+		k.segBytes += int64(len(raw))
+		k.mu.Unlock()
+	}
+	return raw, err
+}
+
+func (k *killFetcher) Fetch(ctx context.Context, cur replica.Cursor, wait time.Duration) (*replica.Batch, error) {
+	if cur.IsZero() {
+		k.mu.Lock()
+		k.legacyBoot++
+		k.mu.Unlock()
+	}
+	return k.Replicator.Fetch(ctx, cur, wait)
+}
+
+func (k *killFetcher) counts() (segCalls int, segBytes int64, legacyBoot int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.segCalls, k.segBytes, k.legacyBoot
+}
+
+func startTieredFollower(t *testing.T, st store.Store, leaderURL string, failAfter int) (*server.Server, *killFetcher, *replica.Follower) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Camera:    fov.Camera{HalfAngleDeg: 30, RadiusMeters: 100},
+		Store:     st,
+		Registry:  obs.NewRegistry(),
+		ReadOnly:  true,
+		LeaderURL: leaderURL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := client.NewReplicator(leaderURL)
+	rep.RetryDelay = 5 * time.Millisecond
+	kf := &killFetcher{Replicator: rep, failAfter: failAfter}
+	fol, err := replica.Start(replica.Options{
+		Fetch:    kf,
+		Apply:    srv,
+		Segments: srv,
+		Poll:     20 * time.Millisecond,
+		Registry: srv.Registry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AttachFollower(fol)
+	return srv, kf, fol
+}
+
+// TestTieredBootstrapResumesWithoutRefetch is the acceptance test for
+// segment-wise bootstrap resume: kill the follower after it has
+// installed exactly one of the leader's sealed segments, restart it,
+// and verify the second life fetches only the remaining segments —
+// total bytes downloaded across both lives equal the manifest's total
+// segment bytes exactly.
+func TestTieredBootstrapResumesWithoutRefetch(t *testing.T) {
+	// Leader: two sealed windows plus a memtable resident.
+	leaderStore := tieredOpenDisk(t, t.TempDir())
+	defer leaderStore.Close()
+	leaderSrv, lts := opsLeader(t, leaderStore)
+	for w, n := range map[int64]int{0: 8, 1: 5} {
+		if _, err := leaderSrv.Register(tieredUpload("cold", w, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leaderStore.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderSrv.Register(tieredUpload("hot", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ms := leaderStore.ManifestSnapshot()
+	if len(ms.Segments) != 2 {
+		t.Fatalf("leader sealed %d segments, want 2", len(ms.Segments))
+	}
+	var totalSegBytes int64
+	for _, m := range ms.Segments {
+		totalSegBytes += m.Bytes
+	}
+
+	// Life 1: the fetcher dies on the second segment, forever. The
+	// follower keeps retrying; exactly one segment ever lands.
+	fdir := t.TempDir()
+	fst := tieredOpenDisk(t, fdir)
+	fsrv, kf1, fol1 := startTieredFollower(t, fst, lts.URL, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := 0
+		for _, m := range ms.Segments {
+			if fsrv.HasSegment(m.Window, m.Seq, m.CRC) {
+				n++
+			}
+		}
+		calls, _, _ := kf1.counts()
+		if n == 1 && calls >= 1 {
+			break
+		}
+		if n > 1 {
+			t.Fatalf("kill point leaked: follower holds %d segments", n)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first segment never installed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give the loop a few more rounds to prove the resume cursor holds:
+	// retries must skip the installed segment (no second successful
+	// fetch) and must not fall back to a monolithic snapshot.
+	time.Sleep(150 * time.Millisecond)
+	calls1, bytes1, legacy1 := kf1.counts()
+	if calls1 != 1 {
+		t.Fatalf("life 1 fetched %d segments, want exactly 1", calls1)
+	}
+	if legacy1 != 0 {
+		t.Fatal("life 1 fell back to legacy snapshot bootstrap")
+	}
+	if st := fol1.Status(); st.Bootstraps != 0 {
+		t.Fatalf("life 1 completed a bootstrap through the kill: %+v", st)
+	}
+	fol1.Close()
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 2: fresh process over the same data dir, healthy fetcher.
+	fst2 := tieredOpenDisk(t, fdir)
+	defer fst2.Close()
+	fsrv2, kf2, fol2 := startTieredFollower(t, fst2, lts.URL, -1)
+	defer fol2.Close()
+	n := 0
+	for _, m := range ms.Segments {
+		if fsrv2.HasSegment(m.Window, m.Seq, m.CRC) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("restart lost the installed segment: %d present, want 1", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := fol2.WaitCaughtUp(ctx); err != nil {
+		t.Fatalf("follower never caught up: %v", err)
+	}
+
+	calls2, bytes2, legacy2 := kf2.counts()
+	if legacy2 != 0 {
+		t.Fatal("life 2 fell back to legacy snapshot bootstrap")
+	}
+	if calls2 != len(ms.Segments)-1 {
+		t.Fatalf("life 2 fetched %d segments, want %d (resume must skip completed installs)",
+			calls2, len(ms.Segments)-1)
+	}
+	if bytes1+bytes2 != totalSegBytes {
+		t.Fatalf("segment bytes across both lives = %d+%d, want exactly the manifest total %d",
+			bytes1, bytes2, totalSegBytes)
+	}
+	if st := fol2.Status(); st.Bootstraps != 1 || st.State != "streaming" {
+		t.Fatalf("life 2 status %+v, want one bootstrap, streaming", st)
+	}
+
+	// The replicated state matches the leader exactly.
+	wantLen := leaderSrv.Index().Len()
+	if got := fsrv2.Index().Len(); got != wantLen {
+		t.Fatalf("follower index holds %d entries, leader %d", got, wantLen)
+	}
+	lead := leaderStore.Entries()
+	want := make(map[uint64]bool, len(lead))
+	for _, e := range lead {
+		want[e.ID] = true
+	}
+	folEntries := fst2.Entries()
+	if len(folEntries) != len(lead) {
+		t.Fatalf("follower store holds %d entries, leader %d", len(folEntries), len(lead))
+	}
+	for _, e := range folEntries {
+		if !want[e.ID] {
+			t.Fatalf("follower holds id %d the leader does not", e.ID)
+		}
+	}
+
+	// And new leader writes still stream through post-bootstrap.
+	if _, err := leaderSrv.Register(tieredUpload("tail", 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for fsrv2.Index().Len() != wantLen+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("post-bootstrap tail record never replicated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTieredBootstrapLegacyLeaderFallback pins the mixed-version path:
+// a follower configured for tiered bootstrap against a leader with
+// tiering off must fall back to the monolithic snapshot and still catch
+// up.
+func TestTieredBootstrapLegacyLeaderFallback(t *testing.T) {
+	leaderStore := opsOpenDisk(t, t.TempDir()) // flat durable store
+	defer leaderStore.Close()
+	leaderSrv, lts := opsLeader(t, leaderStore)
+	if _, err := leaderSrv.Register(tieredUpload("cold", 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	fst := tieredOpenDisk(t, t.TempDir())
+	defer fst.Close()
+	fsrv, kf, fol := startTieredFollower(t, fst, lts.URL, -1)
+	defer fol.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := fol.WaitCaughtUp(ctx); err != nil {
+		t.Fatalf("follower never caught up against a flat leader: %v", err)
+	}
+	segCalls, _, legacy := kf.counts()
+	if segCalls != 0 {
+		t.Fatalf("flat leader served %d segments", segCalls)
+	}
+	if legacy != 1 {
+		t.Fatalf("legacy bootstrap ran %d times, want 1", legacy)
+	}
+	if got := fsrv.Index().Len(); got != 4 {
+		t.Fatalf("follower replicated %d entries, want 4", got)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -62,6 +63,70 @@ func FuzzWALDecode(f *testing.F) {
 		}
 		if !reflect.DeepEqual(recs, recs3) {
 			t.Fatal("records changed across encode/decode round trip")
+		}
+	})
+}
+
+// FuzzSegmentDecode hammers the sealed-segment decoder with arbitrary
+// bytes and checks the invariants the recovery sweep and tiered
+// bootstrap depend on:
+//
+//   - it never panics, whatever the input;
+//   - every failure wraps ErrCorrupt, so recovery can tell "damaged
+//     file" from programming errors and InstallSegment can reject bad
+//     leader payloads uniformly;
+//   - an accepted segment round-trips: re-encoding the decoded entries
+//     reproduces the identical image (segments are canonical — sorted
+//     by id, deterministic compression), which is what makes the CRC in
+//     the manifest a complete identity for the file.
+func FuzzSegmentDecode(f *testing.F) {
+	// Seeds: healthy compressed and raw segments, truncations in the
+	// header and mid-block, a bit flip, and degenerate inputs.
+	for _, compress := range []bool{true, false} {
+		img, _, err := encodeSegment(3, batch(1, 4, "alice"), compress)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+		f.Add(img[:segHeaderLen-2])
+		f.Add(img[:len(img)-5])
+		flipped := append([]byte(nil), img...)
+		flipped[segHeaderLen+2] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FoVG garbage that is long enough to pass the length gate .."))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		window, entries, err := DecodeSegment(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode failure does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted: ids must be unique and ascending (decode rejects
+		// anything else), and the entries must re-encode into a segment
+		// that decodes back to the same state. Byte-identity is NOT
+		// required here — a forged image could carry an equivalent but
+		// differently-compressed block; identity of canonical writers is
+		// covered by TestSegmentEncodeDecodeRoundTrip.
+		for i := 1; i < len(entries); i++ {
+			if entries[i].ID <= entries[i-1].ID {
+				t.Fatalf("accepted segment has non-ascending ids at %d", i)
+			}
+		}
+		compress := data[5]&1 != 0
+		re, crc, eerr := encodeSegment(window, entries, compress)
+		if eerr != nil {
+			t.Fatalf("decoded entries do not re-encode: %v", eerr)
+		}
+		if crc != segTrailerCRC(re) {
+			t.Fatal("re-encode CRC differs from its own trailer")
+		}
+		window2, entries2, derr := DecodeSegment(re)
+		if derr != nil || window2 != window || !reflect.DeepEqual(entries, entries2) {
+			t.Fatalf("round trip changed the segment: err=%v", derr)
 		}
 	})
 }

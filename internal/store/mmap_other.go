@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap degrades to a plain read;
+// callers cannot tell the difference beyond the extra copy.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

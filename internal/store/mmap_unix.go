@@ -1,0 +1,38 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the bytes plus a release
+// function. Sealed segments are immutable, so a shared read-only
+// mapping is safe for the lifetime of the decode; callers release it as
+// soon as they have decoded what they need. Empty files skip the map
+// (mmap of length 0 is an error on most unixes).
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap (or size races) fall back to a copy.
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return buf, func() {}, nil
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

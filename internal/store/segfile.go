@@ -1,0 +1,251 @@
+// Sealed segment files: the cold tier of the store's LSM-flavored
+// hierarchy. One segment holds every entry of one closed time window,
+// immutable once written; the manifest (manifest.go) is the recovery
+// root that says which segment files are live.
+//
+// File layout (all integers little-endian):
+//
+//	magic   "FoVG"              4 bytes
+//	version u8  = 1
+//	flags   u8  (bit0: block is flate-compressed)
+//	window  i64                 the window key (floor(start/window))
+//	count   u32                 entries in the block
+//	rawLen  u32                 uncompressed block length
+//	blockLen u32                stored block length
+//	block   blockLen bytes      count entries, snapshot entry encoding
+//	crc32   u32                 IEEE, over everything before it
+//
+// The entry encoding is snapshot.AppendEntry/ReadEntry — the exact
+// bytes a checkpoint uses — so the segment tier reuses the snapshot
+// codec instead of inventing a second one.
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fovr/internal/index"
+	"fovr/internal/snapshot"
+)
+
+const (
+	segMagic   = "FoVG"
+	segVersion = 1
+	// segFlagDeflate marks the block as flate-compressed.
+	segFlagDeflate = 1 << 0
+	// segHeaderLen is the fixed prefix before the block.
+	segHeaderLen = 4 + 1 + 1 + 8 + 4 + 4 + 4
+	// maxSegmentBlock bounds the uncompressed block a decoder will
+	// allocate; a corrupt or hostile header cannot demand more.
+	maxSegmentBlock = 1 << 30
+	// maxSegmentEntries mirrors the snapshot codec's entry cap.
+	maxSegmentEntries = 1 << 26
+)
+
+// segmentFileName names a sealed segment: seg-<window>-<seq>.fovg. The
+// window key may be negative (epochs before 1970 exist in tests), so
+// parsing splits on the LAST dash.
+func segmentFileName(window int64, seq uint64) string {
+	return fmt.Sprintf("seg-%d-%d.fovg", window, seq)
+}
+
+// stagedFileName names a bootstrap-staged segment not yet promoted into
+// the live set.
+func stagedFileName(window int64, seq uint64) string {
+	return fmt.Sprintf("staged-%d-%d.fovg", window, seq)
+}
+
+// parseSegmentName inverts segmentFileName (and stagedFileName when
+// staged is true). ok is false for any file that is not a well-formed
+// segment name.
+func parseSegmentName(name string) (window int64, seq uint64, staged, ok bool) {
+	rest := ""
+	switch {
+	case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".fovg"):
+		rest = strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".fovg")
+	case strings.HasPrefix(name, "staged-") && strings.HasSuffix(name, ".fovg"):
+		rest = strings.TrimSuffix(strings.TrimPrefix(name, "staged-"), ".fovg")
+		staged = true
+	default:
+		return 0, 0, false, false
+	}
+	i := strings.LastIndexByte(rest, '-')
+	if i <= 0 {
+		return 0, 0, false, false
+	}
+	w, err1 := strconv.ParseInt(rest[:i], 10, 64)
+	s, err2 := strconv.ParseUint(rest[i+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false, false
+	}
+	return w, s, staged, true
+}
+
+// encodeSegment serializes one window's entries into the segment file
+// format and returns the complete file image plus its trailer CRC (the
+// value the manifest records). Entries are sorted by ID first so equal
+// logical content always produces identical bytes.
+func encodeSegment(window int64, entries []index.Entry, compress bool) ([]byte, uint32, error) {
+	if len(entries) > maxSegmentEntries {
+		return nil, 0, fmt.Errorf("store: segment with %d entries exceeds cap %d", len(entries), maxSegmentEntries)
+	}
+	sorted := append([]index.Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	var block bytes.Buffer
+	for _, e := range sorted {
+		if err := snapshot.AppendEntry(&block, e); err != nil {
+			return nil, 0, fmt.Errorf("store: encode segment entry %d: %w", e.ID, err)
+		}
+	}
+	rawLen := block.Len()
+	if rawLen > maxSegmentBlock {
+		return nil, 0, fmt.Errorf("store: segment block %d bytes exceeds cap %d", rawLen, maxSegmentBlock)
+	}
+	stored := block.Bytes()
+	flags := byte(0)
+	if compress && rawLen > 0 {
+		var z bytes.Buffer
+		zw, err := flate.NewWriter(&z, flate.BestSpeed)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := zw.Write(stored); err != nil {
+			return nil, 0, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, 0, err
+		}
+		// Incompressible blocks stay raw: never pay decompression for a
+		// block that got bigger.
+		if z.Len() < rawLen {
+			stored = z.Bytes()
+			flags |= segFlagDeflate
+		}
+	}
+	out := make([]byte, 0, segHeaderLen+len(stored)+4)
+	out = append(out, segMagic...)
+	out = append(out, segVersion, flags)
+	out = binary.LittleEndian.AppendUint64(out, uint64(window))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(sorted)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(rawLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(stored)))
+	out = append(out, stored...)
+	sum := crc32.ChecksumIEEE(out)
+	out = binary.LittleEndian.AppendUint32(out, sum)
+	return out, sum, nil
+}
+
+// DecodeSegment parses a complete segment file image. Exported so the
+// fuzz harness can attack the decoder exactly as recovery does. Every
+// failure is ErrCorrupt-wrapped: a segment is all-or-nothing, there is
+// no valid prefix to salvage (the WAL still holds the window's records
+// until the checkpoint after the seal).
+func DecodeSegment(data []byte) (window int64, entries []index.Entry, err error) {
+	if len(data) < segHeaderLen+4 {
+		return 0, nil, fmt.Errorf("%w: segment truncated at %d bytes", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != segMagic {
+		return 0, nil, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	if data[4] != segVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, data[4])
+	}
+	flags := data[5]
+	if flags&^byte(segFlagDeflate) != 0 {
+		return 0, nil, fmt.Errorf("%w: unknown segment flags %#x", ErrCorrupt, flags)
+	}
+	window = int64(binary.LittleEndian.Uint64(data[6:]))
+	count := binary.LittleEndian.Uint32(data[14:])
+	rawLen := binary.LittleEndian.Uint32(data[18:])
+	blockLen := binary.LittleEndian.Uint32(data[22:])
+	if rawLen > maxSegmentBlock || count > maxSegmentEntries {
+		return 0, nil, fmt.Errorf("%w: segment header claims %d bytes / %d entries", ErrCorrupt, rawLen, count)
+	}
+	if uint64(len(data)) != uint64(segHeaderLen)+uint64(blockLen)+4 {
+		return 0, nil, fmt.Errorf("%w: segment is %d bytes, header implies %d",
+			ErrCorrupt, len(data), uint64(segHeaderLen)+uint64(blockLen)+4)
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
+	}
+	block := data[segHeaderLen : segHeaderLen+int(blockLen)]
+	if flags&segFlagDeflate != 0 {
+		raw, err := io.ReadAll(io.LimitReader(flate.NewReader(bytes.NewReader(block)), int64(rawLen)+1))
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: segment block inflate: %v", ErrCorrupt, err)
+		}
+		block = raw
+	}
+	if len(block) != int(rawLen) {
+		return 0, nil, fmt.Errorf("%w: segment block is %d bytes, header says %d", ErrCorrupt, len(block), rawLen)
+	}
+	if uint64(count) > uint64(rawLen) {
+		// Every entry costs at least one byte; reject before allocating.
+		return 0, nil, fmt.Errorf("%w: segment claims %d entries in %d bytes", ErrCorrupt, count, rawLen)
+	}
+	rd := bytes.NewReader(block)
+	entries = make([]index.Entry, 0, count)
+	seen := make(map[uint64]struct{}, count)
+	for i := uint32(0); i < count; i++ {
+		e, err := snapshot.ReadEntry(rd)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: segment entry %d: %v", ErrCorrupt, i, err)
+		}
+		if _, dup := seen[e.ID]; dup {
+			return 0, nil, fmt.Errorf("%w: segment has duplicate id %d", ErrCorrupt, e.ID)
+		}
+		// Segments are canonical: ascending id order. Rejecting anything
+		// else keeps one logical segment to one block image.
+		if n := len(entries); n > 0 && e.ID < entries[n-1].ID {
+			return 0, nil, fmt.Errorf("%w: segment ids out of order (%d after %d)", ErrCorrupt, e.ID, entries[n-1].ID)
+		}
+		seen[e.ID] = struct{}{}
+		entries = append(entries, e)
+	}
+	if rd.Len() != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after segment entries", ErrCorrupt, rd.Len())
+	}
+	return window, entries, nil
+}
+
+// segTrailerCRC extracts the trailer CRC of a complete segment image
+// (the value the manifest records). Callers must have decoded data
+// successfully first.
+func segTrailerCRC(data []byte) uint32 {
+	return binary.LittleEndian.Uint32(data[len(data)-4:])
+}
+
+// readSegmentFile opens, maps (or reads), and decodes one segment file.
+// It returns the decoded entries, the trailer CRC, and the file size.
+// The mapping is released before return: decoded entries own their
+// memory, so mmap here only avoids double-buffering during the decode.
+func readSegmentFile(path string, useMmap bool) (window int64, entries []index.Entry, crc uint32, size int64, err error) {
+	var data []byte
+	var done func()
+	if useMmap {
+		data, done, err = mapFile(path)
+	} else {
+		data, err = os.ReadFile(path)
+		done = func() {}
+	}
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	defer done()
+	window, entries, err = DecodeSegment(data)
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	crc = binary.LittleEndian.Uint32(data[len(data)-4:])
+	return window, entries, crc, int64(len(data)), nil
+}

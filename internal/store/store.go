@@ -114,11 +114,11 @@ func (*Mem) AppendRemove([]uint64) error        { return nil }
 // nothing to stamp.
 func (*Mem) AppendRegisterTraced([]index.Entry, string) error { return nil }
 func (*Mem) AppendRemoveTraced([]uint64, string) error        { return nil }
-func (*Mem) Entries() []index.Entry             { return nil }
-func (*Mem) Reset([]index.Entry) error          { return nil }
-func (*Mem) Checkpoint() error                  { return ErrNotDurable }
-func (*Mem) Durable() bool                      { return false }
-func (*Mem) Close() error                       { return nil }
+func (*Mem) Entries() []index.Entry                           { return nil }
+func (*Mem) Reset([]index.Entry) error                        { return nil }
+func (*Mem) Checkpoint() error                                { return ErrNotDurable }
+func (*Mem) Durable() bool                                    { return false }
+func (*Mem) Close() error                                     { return nil }
 
 // FsyncPolicy selects when WAL appends reach the platter.
 type FsyncPolicy string
@@ -156,6 +156,25 @@ type Options struct {
 	// means 5m; negative disables background checkpointing (manual
 	// Checkpoint calls still work).
 	CheckpointInterval time.Duration
+	// SegmentWindow is the cold-tier time-window width. Zero means 1h.
+	// It should match the index shard window so sealed segments
+	// bulk-load straight into shards at boot.
+	SegmentWindow time.Duration
+	// SegmentWindowAge enables the segment tier: a time window whose
+	// end is older than this is cold and gets sealed into an immutable
+	// segment file. <= 0 disables tiering (single-tier legacy
+	// behavior); segments already on disk are still recovered.
+	SegmentWindowAge time.Duration
+	// CompactionInterval paces the background seal/compaction loop.
+	// Zero means 1m; negative disables the loop (CompactNow still
+	// works). Only meaningful with SegmentWindowAge > 0.
+	CompactionInterval time.Duration
+	// SegmentNoCompress stores segment blocks raw instead of
+	// flate-compressed.
+	SegmentNoCompress bool
+	// SegmentNoMmap decodes segment files from a plain read instead of
+	// an mmap.
+	SegmentNoMmap bool
 	// Registry receives the store's metrics; nil selects obs.Default.
 	Registry *obs.Registry
 	// Logger receives recovery and checkpoint diagnostics; nil silences
@@ -173,6 +192,12 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointInterval == 0 {
 		o.CheckpointInterval = 5 * time.Minute
 	}
+	if o.SegmentWindow == 0 {
+		o.SegmentWindow = time.Hour
+	}
+	if o.CompactionInterval == 0 {
+		o.CompactionInterval = time.Minute
+	}
 	if o.Registry == nil {
 		o.Registry = obs.Default
 	}
@@ -189,18 +214,29 @@ type Disk struct {
 	log     *slog.Logger
 	storeID string // persisted random identity of this data directory
 
-	mu       sync.Mutex
-	state    map[uint64]index.Entry
-	wal      *os.File
-	walGen   uint64
-	walSize  int64
-	dirty    bool  // unsynced appended bytes (FsyncInterval)
-	appended int64 // records since the last checkpoint
-	failed   error // sticky first write/sync failure
-	closed   bool
-	lastCP   time.Time // last successful checkpoint (or boot)
-	notifyCh chan struct{}     // closed+replaced on append/rotation (log tailing)
-	retired  map[uint64]int64  // final sizes of completed generations (see tail.go)
+	// segment tier shape; immutable after Open
+	tiered      bool  // seal/compaction enabled (SegmentWindowAge > 0)
+	manifestOn  bool  // manifest rotations happen (file existed or tiered)
+	segWindowMs int64 // cold-window width
+	segAgeMs    int64 // seal age threshold
+
+	mu        sync.Mutex
+	state     map[uint64]index.Entry // the memtable: mutable working set
+	segs      map[int64]*liveSeg     // window key -> live sealed segment
+	segIDs    map[uint64]int64       // live (non-tombstoned) sealed id -> window
+	tombs     map[uint64][]int64     // removed sealed id -> windows holding dead copies
+	tombCount int                    // total (id, window) tombstone pairs
+	staged    []SegmentMeta          // bootstrap-staged segments, not served
+	wal       *os.File
+	walGen    uint64
+	walSize   int64
+	dirty     bool  // unsynced appended bytes (FsyncInterval)
+	appended  int64 // records since the last checkpoint
+	failed    error // sticky first write/sync failure
+	closed    bool
+	lastCP    time.Time        // last successful checkpoint (or boot)
+	notifyCh  chan struct{}    // closed+replaced on append/rotation (log tailing)
+	retired   map[uint64]int64 // final sizes of completed generations (see tail.go)
 
 	cpMu sync.Mutex // serializes Checkpoint/Reset against each other
 
@@ -212,16 +248,18 @@ type Disk struct {
 	recoveryDuration time.Duration
 
 	// metrics
-	recRegister *obs.Counter
-	recRemove   *obs.Counter
-	walBytes    *obs.Counter
-	fsyncHist   *obs.Histogram
-	replayed    *obs.Counter
-	truncated   *obs.Counter
-	checkpoints *obs.Counter
-	cpErrors    *obs.Counter
-	cpHist      *obs.Histogram
-	lockClass   *obs.LockClass // "store.wal": lock-wait accounting on d.mu's append path
+	recRegister     *obs.Counter
+	recRemove       *obs.Counter
+	walBytes        *obs.Counter
+	fsyncHist       *obs.Histogram
+	replayed        *obs.Counter
+	truncated       *obs.Counter
+	checkpoints     *obs.Counter
+	cpErrors        *obs.Counter
+	cpHist          *obs.Histogram
+	compactions     *obs.Counter
+	segWrittenBytes *obs.Counter
+	lockClass       *obs.LockClass // "store.wal": lock-wait accounting on d.mu's append path
 }
 
 func walName(gen uint64) string        { return fmt.Sprintf("wal-%012d.log", gen) }
@@ -260,12 +298,18 @@ func Open(opts Options) (*Disk, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &Disk{
-		opts:     opts,
-		log:      opts.Logger,
-		state:    make(map[uint64]index.Entry),
-		done:     make(chan struct{}),
-		notifyCh: make(chan struct{}),
-		retired:  make(map[uint64]int64),
+		opts:        opts,
+		log:         opts.Logger,
+		tiered:      opts.SegmentWindowAge > 0,
+		segWindowMs: opts.SegmentWindow.Milliseconds(),
+		segAgeMs:    opts.SegmentWindowAge.Milliseconds(),
+		state:       make(map[uint64]index.Entry),
+		segs:        make(map[int64]*liveSeg),
+		segIDs:      make(map[uint64]int64),
+		tombs:       make(map[uint64][]int64),
+		done:        make(chan struct{}),
+		notifyCh:    make(chan struct{}),
+		retired:     make(map[uint64]int64),
 	}
 	id, err := loadStoreID(opts.Dir)
 	if err != nil {
@@ -282,6 +326,8 @@ func Open(opts Options) (*Disk, error) {
 	d.checkpoints = reg.Counter("fovr_store_checkpoints_total")
 	d.cpErrors = reg.Counter("fovr_store_checkpoint_errors_total")
 	d.cpHist = reg.Histogram("fovr_store_checkpoint_seconds")
+	d.compactions = reg.Counter("fovr_store_compactions_total")
+	d.segWrittenBytes = reg.Counter("fovr_store_segment_written_bytes_total")
 	d.lockClass = reg.LockClass("store.wal")
 
 	start := time.Now()
@@ -289,7 +335,7 @@ func Open(opts Options) (*Disk, error) {
 		return nil, err
 	}
 	d.recoveryDuration = time.Since(start)
-	d.recoveredEntries = len(d.state)
+	d.recoveredEntries = len(d.state) + d.visibleSealedLocked()
 	// Boot counts as the checkpoint baseline: "checkpoint age" measures
 	// un-checkpointed runtime, not directory age.
 	d.lastCP = time.Now()
@@ -298,7 +344,34 @@ func Open(opts Options) (*Disk, error) {
 	reg.GaugeFunc("fovr_store_entries", func() float64 {
 		d.mu.Lock()
 		defer d.mu.Unlock()
+		return float64(len(d.state) + d.visibleSealedLocked())
+	})
+	reg.GaugeFunc("fovr_store_segment_count", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.segs))
+	})
+	reg.GaugeFunc("fovr_store_segment_bytes", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		var n int64
+		for _, seg := range d.segs {
+			n += seg.meta.Bytes
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("fovr_store_segment_entries", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.visibleSealedLocked())
+	})
+	reg.GaugeFunc("fovr_store_memtable_entries", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
 		return float64(len(d.state))
+	})
+	reg.GaugeFunc("fovr_store_compaction_backlog", func() float64 {
+		return float64(d.CompactionBacklog())
 	})
 	reg.GaugeFunc("fovr_wal_segment_bytes", func() float64 {
 		d.mu.Lock()
@@ -332,6 +405,10 @@ func Open(opts Options) (*Disk, error) {
 		d.wg.Add(1)
 		go obs.LabelWorker("store.checkpoint", func() { d.checkpointLoop(opts.CheckpointInterval) })
 	}
+	if d.tiered && opts.CompactionInterval > 0 {
+		d.wg.Add(1)
+		go obs.LabelWorker("store.compaction", func() { d.compactionLoop(opts.CompactionInterval) })
+	}
 	if opts.Fsync == FsyncInterval {
 		d.wg.Add(1)
 		go obs.LabelWorker("store.fsync", func() { d.fsyncLoop(opts.FsyncEvery) })
@@ -349,6 +426,9 @@ func (d *Disk) RecoveryStats() (entries int, elapsed time.Duration) {
 // at or above its generation (truncating a torn tail on the newest),
 // and leaves d.wal open for appending.
 func (d *Disk) recover() error {
+	if err := d.recoverSegments(); err != nil {
+		return err
+	}
 	names, err := os.ReadDir(d.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -449,6 +529,83 @@ func (d *Disk) recover() error {
 	// The resumed segment is live, not retired: its size still grows.
 	delete(d.retired, gen)
 	os.Remove(filepath.Join(d.opts.Dir, "checkpoint.tmp"))
+	os.Remove(filepath.Join(d.opts.Dir, manifestTmpFile))
+	return nil
+}
+
+// recoverSegments loads the manifest and the segment files it names —
+// the cold tier's recovery root — before the checkpoint/WAL scan.
+// Live segments are verified STRICTLY: once the WAL windows behind a
+// sealed segment have been checkpointed away, the file is the only
+// copy, so a missing or damaged one must fail Open loudly rather than
+// silently dropping a window. Staged segments (bootstrap scaffolding)
+// are loaded leniently: a bad one is just refetched. The manifest is
+// honored whenever the file exists, tiering flag or not — disabling
+// tiering must never lose sealed data. Files a crashed flush or
+// bootstrap left unreferenced are swept last.
+func (d *Disk) recoverSegments() error {
+	doc, present, err := loadManifest(d.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.manifestOn = present || d.tiered
+	if !present {
+		if d.tiered {
+			// A crash during the very first seal can leave a segment file
+			// (or its torn tmp) with no manifest referencing it; the WAL
+			// still holds every record, so the orphan is re-derivable.
+			d.removeUnreferencedSegments(manifestDoc{})
+		}
+		return nil
+	}
+	for _, t := range doc.Tombstones {
+		d.addTombLocked(t.ID, t.Window)
+	}
+	for _, m := range doc.Segments {
+		path := filepath.Join(d.opts.Dir, segmentFileName(m.Window, m.Seq))
+		window, entries, crc, size, err := readSegmentFile(path, !d.opts.SegmentNoMmap)
+		if err != nil {
+			return fmt.Errorf("store: live segment: %w", err)
+		}
+		if window != m.Window || crc != m.CRC || size != m.Bytes || len(entries) != m.Count {
+			return fmt.Errorf("%w: segment %s does not match its manifest entry", ErrCorrupt, path)
+		}
+		d.segs[m.Window] = &liveSeg{meta: m, entries: entries}
+		for _, e := range entries {
+			if !d.tombHasLocked(e.ID, m.Window) {
+				d.segIDs[e.ID] = m.Window
+			}
+		}
+	}
+	for _, m := range doc.Staged {
+		path := filepath.Join(d.opts.Dir, stagedFileName(m.Window, m.Seq))
+		if _, err := os.Stat(path); err != nil {
+			// A crashed FinishTieredBootstrap may have promoted the file
+			// already; accept the live-named twin if it still verifies and
+			// no live segment claims that name.
+			alt := filepath.Join(d.opts.Dir, segmentFileName(m.Window, m.Seq))
+			if seg := d.segs[m.Window]; seg == nil || seg.meta.Seq != m.Seq {
+				if _, _, crc, size, rerr := readSegmentFile(alt, !d.opts.SegmentNoMmap); rerr == nil &&
+					crc == m.CRC && size == m.Bytes {
+					if rerr := os.Rename(alt, path); rerr == nil {
+						d.staged = append(d.staged, m)
+						continue
+					}
+				}
+			}
+			d.log.Warn("store: dropping missing staged segment", "window", m.Window, "seq", m.Seq)
+			continue
+		}
+		_, entries, crc, size, err := readSegmentFile(path, !d.opts.SegmentNoMmap)
+		if err != nil || crc != m.CRC || size != m.Bytes || len(entries) != m.Count {
+			d.log.Warn("store: dropping damaged staged segment",
+				"window", m.Window, "seq", m.Seq, "err", err)
+			os.Remove(path)
+			continue
+		}
+		d.staged = append(d.staged, m)
+	}
+	d.removeUnreferencedSegments(manifestDoc{Segments: d.manifestDocLocked().Segments, Staged: d.staged})
 	return nil
 }
 
@@ -465,6 +622,12 @@ func (d *Disk) apply(rec Record) {
 	case opRemove:
 		for _, id := range rec.IDs {
 			delete(d.state, id)
+			// A removal whose target was sealed must suppress the sealed
+			// copy too — the one rule that makes idempotent replay and
+			// live appends agree under tiering.
+			if w, ok := d.segIDs[id]; ok {
+				d.addTombLocked(id, w)
+			}
 		}
 	}
 }
@@ -567,22 +730,20 @@ func (d *Disk) syncLocked() error {
 	return nil
 }
 
-// Entries implements Store.
+// Entries implements Store: the visible set is the memtable plus every
+// sealed entry that is neither tombstoned nor shadowed by a memtable
+// copy of the same id.
 func (d *Disk) Entries() []index.Entry {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]index.Entry, 0, len(d.state))
-	for _, e := range d.state {
-		out = append(out, e)
-	}
-	return out
+	return d.entriesLocked()
 }
 
-// Len returns the number of committed entries.
+// Len returns the number of committed (visible) entries.
 func (d *Disk) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.state)
+	return len(d.state) + d.visibleSealedLocked()
 }
 
 // Durable implements Store.
@@ -601,6 +762,18 @@ func (d *Disk) Reset(entries []index.Entry) error { return d.checkpointWith(entr
 
 // checkpointWith is Checkpoint and Reset: optionally replace the state,
 // then capture it, rotate the log, persist the capture, clean up.
+//
+// Under tiering the checkpoint is INCREMENTAL by construction: it
+// snapshots only the memtable — the sealed segments live in their own
+// files and the manifest, so checkpoint bytes scale with the delta
+// since the last seal, not the corpus. Ordering: the manifest rotates
+// BEFORE the checkpoint rename, because renaming the checkpoint
+// retires the WAL generations that could re-derive the tombstones the
+// manifest carries (a crash between the two replays the old WAL over
+// the new manifest, which is idempotent). Reset inverts the order —
+// its checkpoint holds the complete replacement state, and emptying
+// the manifest before that checkpoint is durable would orphan the
+// sealed data.
 func (d *Disk) checkpointWith(replace []index.Entry, doReplace bool) error {
 	d.cpMu.Lock()
 	defer d.cpMu.Unlock()
@@ -615,15 +788,32 @@ func (d *Disk) checkpointWith(replace []index.Entry, doReplace bool) error {
 		d.mu.Unlock()
 		return d.failed
 	}
+	var dropSegs []SegmentMeta
 	if doReplace {
 		d.state = make(map[uint64]index.Entry, len(replace))
 		for _, e := range replace {
 			d.state[e.ID] = e
 		}
+		// The replacement is the whole truth: the segment tier restarts
+		// empty and the superseded files are deleted once the new
+		// checkpoint and manifest are durable.
+		for _, seg := range d.segs {
+			dropSegs = append(dropSegs, seg.meta)
+		}
+		d.segs = make(map[int64]*liveSeg)
+		d.segIDs = make(map[uint64]int64)
+		d.tombs = make(map[uint64][]int64)
+		d.tombCount = 0
+		d.staged = nil
 	}
 	entries := make([]index.Entry, 0, len(d.state))
 	for _, e := range d.state {
 		entries = append(entries, e)
+	}
+	writeManifest := d.manifestOn
+	var doc manifestDoc
+	if writeManifest {
+		doc = d.manifestDocLocked()
 	}
 	newGen := d.walGen + 1
 	f, err := os.OpenFile(filepath.Join(d.opts.Dir, walName(newGen)),
@@ -663,20 +853,26 @@ func (d *Disk) checkpointWith(replace []index.Entry, doReplace bool) error {
 		return err
 	}
 
-	tmp := filepath.Join(d.opts.Dir, "checkpoint.tmp")
-	if err := writeFileSync(tmp, func(w *os.File) error {
-		return snapshot.Write(w, entries)
-	}); err != nil {
-		d.cpErrors.Inc()
-		return fmt.Errorf("store: write checkpoint: %w", err)
+	// Tombstone durability: the manifest must be on disk before the
+	// checkpoint that retires the WAL records it was derived from.
+	if writeManifest && !doReplace {
+		if err := saveManifest(d.opts.Dir, doc); err != nil {
+			d.cpErrors.Inc()
+			return fmt.Errorf("store: rotate manifest: %w", err)
+		}
 	}
-	if err := os.Rename(tmp, filepath.Join(d.opts.Dir, checkpointName(newGen))); err != nil {
-		d.cpErrors.Inc()
-		return fmt.Errorf("store: publish checkpoint: %w", err)
-	}
-	if err := syncDir(d.opts.Dir); err != nil {
-		d.cpErrors.Inc()
+	if err := d.persistCheckpoint(newGen, entries); err != nil {
 		return err
+	}
+	if writeManifest && doReplace {
+		if err := saveManifest(d.opts.Dir, doc); err != nil {
+			d.cpErrors.Inc()
+			return fmt.Errorf("store: rotate manifest: %w", err)
+		}
+		for _, m := range dropSegs {
+			os.Remove(filepath.Join(d.opts.Dir, segmentFileName(m.Window, m.Seq)))
+		}
+		d.removeUnreferencedSegments(doc)
 	}
 
 	// Only now is anything at or below oldGen dead weight.
@@ -771,13 +967,21 @@ type DiskHealth struct {
 	// background checkpointing is disabled). Fsync is the sync policy.
 	CheckpointInterval time.Duration
 	Fsync              FsyncPolicy
+	// Tiered reports whether the segment tier is enabled; the fields
+	// below describe it (zero when disabled).
+	Tiered            bool
+	Segments          int
+	SegmentBytes      int64
+	MemtableEntries   int
+	CompactionBacklog int
 }
 
 // Health reports the store's operational condition.
 func (d *Disk) Health() DiskHealth {
+	backlog := d.CompactionBacklog()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return DiskHealth{
+	h := DiskHealth{
 		Failed:                  d.failed,
 		Closed:                  d.closed,
 		WALBytes:                d.walSize,
@@ -786,7 +990,15 @@ func (d *Disk) Health() DiskHealth {
 		SinceCheckpoint:         time.Since(d.lastCP),
 		CheckpointInterval:      d.opts.CheckpointInterval,
 		Fsync:                   d.opts.Fsync,
+		Tiered:                  d.tiered,
+		Segments:                len(d.segs),
+		MemtableEntries:         len(d.state),
+		CompactionBacklog:       backlog,
 	}
+	for _, seg := range d.segs {
+		h.SegmentBytes += seg.meta.Bytes
+	}
+	return h
 }
 
 // InjectFault marks the store failed with err, exactly as a real WAL

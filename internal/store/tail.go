@@ -75,11 +75,10 @@ func (d *Disk) LogCursor() (gen uint64, off int64) {
 func (d *Disk) CaptureState() (entries []index.Entry, gen uint64, off int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	entries = make([]index.Entry, 0, len(d.state))
-	for _, e := range d.state {
-		entries = append(entries, e)
-	}
-	return entries, d.walGen, d.walSize
+	// The full visible set — sealed included. A legacy (non-tiered)
+	// bootstrap of a tiered leader still gets everything; replaying the
+	// WAL tail over it stays idempotent.
+	return d.entriesLocked(), d.walGen, d.walSize
 }
 
 // ReadLog returns committed log bytes from position (gen, off): whole

@@ -1,0 +1,473 @@
+// The segment tier: everything Disk does beyond the WAL + memtable
+// pair when Options.SegmentWindowAge enables tiering.
+//
+// Data model. The memtable (d.state) holds the mutable working set;
+// cold time windows are sealed into immutable segment files (one per
+// window, segfile.go) named by the manifest (manifest.go). The visible
+// entry set is:
+//
+//	memtable ∪ { sealed entry e in window w :
+//	             no tombstone (e.ID, w) and e.ID not in memtable }
+//
+// The memtable always shadows a sealed copy of the same ID, and a
+// tombstone suppresses a sealed copy outright. WAL replay therefore
+// stays exactly what it was before tiering — an idempotent fold into
+// the memtable — and correctness lives at read time. Replay after a
+// crash can re-create memtable copies of already-sealed entries
+// ("shadows"); they are correct (deduplicated on read) and the next
+// flush of that window retires them.
+//
+// flushWindow is the single primitive behind both sealing and
+// compaction: it merges a window's surviving sealed copies with its
+// memtable entries into a fresh segment file (sequence+1), commits the
+// swap in RAM, rotates the manifest, then deletes the superseded file.
+// The WAL is never truncated by a flush — only a checkpoint retires
+// WAL generations, and checkpointWith writes the manifest before the
+// checkpoint rename so every tombstone is durable in at least one of
+// the two (see manifest.go).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fovr/internal/index"
+)
+
+// liveSeg is one sealed segment resident in RAM: its manifest meta and
+// decoded entries (served to reads and re-merged by compaction).
+type liveSeg struct {
+	meta    SegmentMeta
+	entries []index.Entry
+}
+
+// segFloorDiv is floor division for window keys (negative starts must
+// round toward -inf, matching index.Sharded's keying).
+func segFloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// windowKeyOf returns the time-window key an entry seals into, and
+// false for entries longer than the window — those stay memtable
+// residents forever, mirroring the sharded index's spatial fallback.
+func (d *Disk) windowKeyOf(e index.Entry) (int64, bool) {
+	if e.Rep.EndMillis-e.Rep.StartMillis > d.segWindowMs {
+		return 0, false
+	}
+	return segFloorDiv(e.Rep.StartMillis, d.segWindowMs), true
+}
+
+// tombHasLocked reports whether (id, window) is tombstoned (d.mu held).
+func (d *Disk) tombHasLocked(id uint64, window int64) bool {
+	for _, w := range d.tombs[id] {
+		if w == window {
+			return true
+		}
+	}
+	return false
+}
+
+// addTombLocked records that the sealed copy of id in window is dead,
+// and drops the id from the live sealed map (d.mu held). Idempotent.
+func (d *Disk) addTombLocked(id uint64, window int64) {
+	if !d.tombHasLocked(id, window) {
+		d.tombs[id] = append(d.tombs[id], window)
+		d.tombCount++
+	}
+	if w, ok := d.segIDs[id]; ok && w == window {
+		delete(d.segIDs, id)
+	}
+}
+
+// dropTombLocked forgets the (id, window) tombstone (d.mu held).
+func (d *Disk) dropTombLocked(id uint64, window int64) {
+	ws := d.tombs[id]
+	for i, w := range ws {
+		if w == window {
+			ws[i] = ws[len(ws)-1]
+			d.tombs[id] = ws[:len(ws)-1]
+			d.tombCount--
+			break
+		}
+	}
+	if len(d.tombs[id]) == 0 {
+		delete(d.tombs, id)
+	}
+}
+
+// visibleSealedLocked counts sealed entries the read path serves:
+// total sealed minus tombstoned copies minus memtable shadows (d.mu
+// held). Tombstones only ever reference live sealed copies (flush
+// drops them with the copies), so each pair suppresses exactly one.
+func (d *Disk) visibleSealedLocked() int {
+	total := 0
+	for _, seg := range d.segs {
+		total += len(seg.entries)
+	}
+	shadows := 0
+	for id := range d.segIDs {
+		if _, ok := d.state[id]; ok {
+			shadows++
+		}
+	}
+	return total - d.tombCount - shadows
+}
+
+// entriesLocked materializes the visible entry set (d.mu held).
+func (d *Disk) entriesLocked() []index.Entry {
+	out := make([]index.Entry, 0, len(d.state)+d.visibleSealedLocked())
+	for w, seg := range d.segs {
+		for _, e := range seg.entries {
+			if d.tombHasLocked(e.ID, w) {
+				continue
+			}
+			if _, shadowed := d.state[e.ID]; shadowed {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	for _, e := range d.state {
+		out = append(out, e)
+	}
+	return out
+}
+
+// manifestDocLocked snapshots the on-disk manifest document (d.mu
+// held).
+func (d *Disk) manifestDocLocked() manifestDoc {
+	doc := manifestDoc{Version: manifestVersion}
+	for _, seg := range d.segs {
+		doc.Segments = append(doc.Segments, seg.meta)
+	}
+	sort.Slice(doc.Segments, func(i, j int) bool { return doc.Segments[i].Window < doc.Segments[j].Window })
+	doc.Staged = append(doc.Staged, d.staged...)
+	for id, ws := range d.tombs {
+		for _, w := range ws {
+			doc.Tombstones = append(doc.Tombstones, Tombstone{ID: id, Window: w})
+		}
+	}
+	sort.Slice(doc.Tombstones, func(i, j int) bool {
+		if doc.Tombstones[i].ID != doc.Tombstones[j].ID {
+			return doc.Tombstones[i].ID < doc.Tombstones[j].ID
+		}
+		return doc.Tombstones[i].Window < doc.Tombstones[j].Window
+	})
+	return doc
+}
+
+// SegmentWindowMillis returns the configured cold-window width; the
+// server checks it against the index shard window before bulk-loading
+// sealed segments shard-at-a-time.
+func (d *Disk) SegmentWindowMillis() int64 { return d.segWindowMs }
+
+// Tiered reports whether the segment tier is enabled.
+func (d *Disk) Tiered() bool { return d.tiered }
+
+// SealedWindows partitions the visible set for index boot: per-window
+// sealed entries (each exactly fitting one time window) plus the rest
+// (the memtable). The union equals Entries().
+func (d *Disk) SealedWindows() (sealed map[int64][]index.Entry, rest []index.Entry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sealed = make(map[int64][]index.Entry, len(d.segs))
+	for w, seg := range d.segs {
+		vis := make([]index.Entry, 0, len(seg.entries))
+		for _, e := range seg.entries {
+			if d.tombHasLocked(e.ID, w) {
+				continue
+			}
+			if _, shadowed := d.state[e.ID]; shadowed {
+				continue
+			}
+			vis = append(vis, e)
+		}
+		if len(vis) > 0 {
+			sealed[w] = vis
+		}
+	}
+	rest = make([]index.Entry, 0, len(d.state))
+	for _, e := range d.state {
+		rest = append(rest, e)
+	}
+	return sealed, rest
+}
+
+// eligibleWindows returns every window a flush would change: sealed
+// windows carrying tombstones or shadowed/late memtable entries, plus
+// unsealed windows that closed more than the configured age ago.
+func (d *Disk) eligibleWindows(nowMillis int64) []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	set := make(map[int64]struct{})
+	for _, ws := range d.tombs {
+		for _, w := range ws {
+			set[w] = struct{}{}
+		}
+	}
+	for _, e := range d.state {
+		k, ok := d.windowKeyOf(e)
+		if !ok {
+			continue
+		}
+		if _, sealedAlready := d.segs[k]; sealedAlready {
+			// Late arrival or replay shadow in a sealed window: merge it
+			// regardless of age.
+			set[k] = struct{}{}
+			continue
+		}
+		if (k+1)*d.segWindowMs+d.segAgeMs <= nowMillis {
+			set[k] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CompactionBacklog returns how many windows are currently flushable.
+func (d *Disk) CompactionBacklog() int {
+	if !d.tiered {
+		return 0
+	}
+	return len(d.eligibleWindows(time.Now().UnixMilli()))
+}
+
+// CompactNow flushes every currently eligible window synchronously —
+// what one compaction-loop tick does; tests and benchmarks drive the
+// tier with it.
+func (d *Disk) CompactNow() error {
+	if !d.tiered {
+		return nil
+	}
+	for _, k := range d.eligibleWindows(time.Now().UnixMilli()) {
+		if err := d.flushWindow(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactionLoop is the background seal/compaction worker.
+func (d *Disk) compactionLoop(interval time.Duration) {
+	defer d.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-t.C:
+			if err := d.CompactNow(); err != nil && !errors.Is(err, ErrClosed) {
+				d.log.Error("store: compaction failed", "err", err)
+			}
+		}
+	}
+}
+
+// flushWindow seals or compacts one time window: merge the window's
+// surviving sealed copies with its captured memtable entries, write the
+// next-sequence segment file, commit the swap, rotate the manifest,
+// delete the superseded file. Serialized with checkpoints on cpMu; the
+// expensive encode+write runs without holding d.mu, and every
+// interleaving with concurrent appends/removes is resolved at commit.
+func (d *Disk) flushWindow(k int64) error {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	start := time.Now()
+
+	// Capture.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.failed != nil {
+		d.mu.Unlock()
+		return d.failed
+	}
+	old := d.segs[k]
+	memK := make(map[uint64]index.Entry)
+	for id, e := range d.state {
+		if w, ok := d.windowKeyOf(e); ok && w == k {
+			memK[id] = e
+		}
+	}
+	tombK := make(map[uint64]struct{})
+	for id, ws := range d.tombs {
+		for _, w := range ws {
+			if w == k {
+				tombK[id] = struct{}{}
+			}
+		}
+	}
+	var oldEntries []index.Entry
+	seq := uint64(1)
+	if old != nil {
+		oldEntries = old.entries
+		seq = old.meta.Seq + 1
+	}
+	d.mu.Unlock()
+	if old == nil && len(memK) == 0 {
+		return nil
+	}
+
+	// Merge and write the new segment, unlocked. Sealed copies lose to
+	// both tombstones and memtable shadows; the memtable copy is the one
+	// that moves into the new file.
+	merged := make([]index.Entry, 0, len(oldEntries)+len(memK))
+	for _, e := range oldEntries {
+		if _, dead := tombK[e.ID]; dead {
+			continue
+		}
+		if _, shadowed := memK[e.ID]; shadowed {
+			continue
+		}
+		merged = append(merged, e)
+	}
+	for _, e := range memK {
+		merged = append(merged, e)
+	}
+	var newMeta SegmentMeta
+	wrote := len(merged) > 0
+	if wrote {
+		img, crc, err := encodeSegment(k, merged, !d.opts.SegmentNoCompress)
+		if err != nil {
+			return err
+		}
+		name := segmentFileName(k, seq)
+		tmp := filepath.Join(d.opts.Dir, name+".tmp")
+		if err := writeFileSync(tmp, func(w *os.File) error {
+			_, werr := w.Write(img)
+			return werr
+		}); err != nil {
+			return fmt.Errorf("store: write segment %s: %w", name, err)
+		}
+		if err := os.Rename(tmp, filepath.Join(d.opts.Dir, name)); err != nil {
+			return fmt.Errorf("store: publish segment %s: %w", name, err)
+		}
+		if err := syncDir(d.opts.Dir); err != nil {
+			return err
+		}
+		newMeta = SegmentMeta{Window: k, Seq: seq, Count: len(merged), Bytes: int64(len(img)), CRC: crc}
+		d.segWrittenBytes.Add(int64(len(img)))
+	}
+
+	// Commit. Appends and removes may have run since the capture; the
+	// rules below make every interleaving land on the visibility
+	// invariant.
+	d.mu.Lock()
+	if d.closed || d.failed != nil {
+		err := d.failed
+		if err == nil {
+			err = ErrClosed
+		}
+		d.mu.Unlock()
+		return err
+	}
+	// A captured id whose previous sealed copy lives in ANOTHER window
+	// just moved here: tombstone that copy or it would resurrect once
+	// the memtable entry retires.
+	for id := range memK {
+		if w, ok := d.segIDs[id]; ok && w != k {
+			d.addTombLocked(id, w)
+		}
+	}
+	if wrote {
+		d.segs[k] = &liveSeg{meta: newMeta, entries: merged}
+		for _, e := range merged {
+			d.segIDs[e.ID] = k
+		}
+	} else {
+		delete(d.segs, k)
+	}
+	// The captured tombstones' targets are gone from the new file; newer
+	// tombstones (raced in during the write) stay.
+	for id := range tombK {
+		d.dropTombLocked(id, k)
+	}
+	for id, captured := range memK {
+		cur, ok := d.state[id]
+		switch {
+		case !ok:
+			// Removed while we flushed: the remove keeps winning over the
+			// fresh sealed copy.
+			d.addTombLocked(id, k)
+		case cur == captured:
+			delete(d.state, id)
+		default:
+			// Re-registered while we flushed: the memtable copy shadows
+			// the sealed one until this window's next flush.
+		}
+	}
+	doc := d.manifestDocLocked()
+	d.mu.Unlock()
+
+	// The manifest rotation publishes the swap; only then is the old
+	// file garbage. A failure here is not sticky — the old manifest
+	// still names a consistent (pre-flush) state, and the next rotation
+	// converges.
+	if err := saveManifest(d.opts.Dir, doc); err != nil {
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: rotate manifest: %w", err)
+	}
+	if old != nil {
+		os.Remove(filepath.Join(d.opts.Dir, segmentFileName(k, old.meta.Seq)))
+	}
+	d.compactions.Inc()
+	d.log.Info("store sealed window",
+		"window", k, "seq", seq, "entries", len(merged),
+		"bytes", newMeta.Bytes, "elapsed", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// TieredStats is the storage panel's data: per-tier sizes and the
+// compaction backlog (served on /stats and rendered by fovctl
+// storage).
+type TieredStats struct {
+	Enabled             bool  `json:"enabled"`
+	SegmentWindowMillis int64 `json:"segmentWindowMillis,omitempty"`
+	Segments            int   `json:"segments"`
+	SegmentBytes        int64 `json:"segmentBytes"`
+	SegmentEntries      int   `json:"segmentEntries"`
+	MemtableEntries     int   `json:"memtableEntries"`
+	Tombstones          int   `json:"tombstones"`
+	StagedSegments      int   `json:"stagedSegments"`
+	CompactionBacklog   int   `json:"compactionBacklog"`
+	Compactions         int64 `json:"compactions"`
+}
+
+// TieredStats reports the segment tier's current shape.
+func (d *Disk) TieredStats() TieredStats {
+	backlog := d.CompactionBacklog()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ts := TieredStats{
+		Enabled:           d.tiered,
+		Segments:          len(d.segs),
+		SegmentEntries:    d.visibleSealedLocked(),
+		MemtableEntries:   len(d.state),
+		Tombstones:        d.tombCount,
+		StagedSegments:    len(d.staged),
+		CompactionBacklog: backlog,
+		Compactions:       d.compactions.Value(),
+	}
+	if d.tiered {
+		ts.SegmentWindowMillis = d.segWindowMs
+	}
+	for _, seg := range d.segs {
+		ts.SegmentBytes += seg.meta.Bytes
+	}
+	return ts
+}

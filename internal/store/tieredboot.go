@@ -1,0 +1,349 @@
+// The store half of the segment-wise replication bootstrap.
+//
+// Leader side: ManifestSnapshot / ReadSegment / CaptureMem are what
+// replica.Serve exposes as the tiered protocol — the manifest names
+// the sealed set, each segment ships as its verbatim file bytes, and
+// the memtable snapshot carries the WAL cursor to resume streaming
+// from plus the manifest hash the capture was consistent with.
+//
+// Follower side: InstallSegment writes each fetched segment as a
+// STAGED file and rotates the manifest immediately, so local durable
+// presence is the per-segment resume cursor — a follower killed and
+// restarted mid-bootstrap finds the staged set in its manifest and
+// skips every completed segment (HasSegment). FinishTieredBootstrap
+// promotes the staged set to live, swaps the memtable wholesale, and
+// rotates WAL + checkpoint + manifest into the leader's history.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fovr/internal/index"
+	"fovr/internal/snapshot"
+)
+
+// ManifestSnapshot returns the served cold-tier state: live segments,
+// tombstones, and the fingerprint a bootstrapping follower compares
+// against the memtable capture. Staged segments are local scaffolding
+// and excluded.
+func (d *Disk) ManifestSnapshot() ManifestSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.manifestSnapshotLocked()
+}
+
+func (d *Disk) manifestSnapshotLocked() ManifestSnapshot {
+	var ms ManifestSnapshot
+	for _, seg := range d.segs {
+		ms.Segments = append(ms.Segments, seg.meta)
+	}
+	for id, ws := range d.tombs {
+		for _, w := range ws {
+			ms.Tombstones = append(ms.Tombstones, Tombstone{ID: id, Window: w})
+		}
+	}
+	ms.Hash = manifestHash(ms.Segments, ms.Tombstones)
+	return ms
+}
+
+// ReadSegment returns the verbatim file bytes of the live segment
+// (window, seq), or an error when the manifest has moved past it — the
+// bootstrapping follower then refetches the manifest.
+func (d *Disk) ReadSegment(window int64, seq uint64) ([]byte, error) {
+	d.mu.Lock()
+	seg := d.segs[window]
+	d.mu.Unlock()
+	if seg == nil || seg.meta.Seq != seq {
+		return nil, fmt.Errorf("store: segment %d/%d is not live", window, seq)
+	}
+	return os.ReadFile(filepath.Join(d.opts.Dir, segmentFileName(window, seq)))
+}
+
+// CaptureMem atomically captures the memtable, the WAL cursor the
+// capture is consistent with, and the manifest hash at that instant —
+// the final leg of a tiered bootstrap.
+func (d *Disk) CaptureMem() (entries []index.Entry, gen uint64, off int64, hash uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries = make([]index.Entry, 0, len(d.state))
+	for _, e := range d.state {
+		entries = append(entries, e)
+	}
+	ms := d.manifestSnapshotLocked()
+	return entries, d.walGen, d.walSize, ms.Hash
+}
+
+// HasSegment reports whether (window, seq, crc) is already durable
+// locally — live or staged. The bootstrap skips fetching it then.
+func (d *Disk) HasSegment(window int64, seq uint64, crc uint32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seg := d.segs[window]; seg != nil && seg.meta.Seq == seq && seg.meta.CRC == crc {
+		return true
+	}
+	for _, m := range d.staged {
+		if m.Window == window && m.Seq == seq && m.CRC == crc {
+			return true
+		}
+	}
+	return false
+}
+
+// InstallSegment verifies one fetched segment against its advertised
+// meta, writes it as a staged file, and rotates the manifest so the
+// install survives a crash. Serialized on cpMu like every manifest
+// rotation.
+func (d *Disk) InstallSegment(meta SegmentMeta, raw []byte) error {
+	window, entries, err := DecodeSegment(raw)
+	if err != nil {
+		return fmt.Errorf("store: install segment %d/%d: %w", meta.Window, meta.Seq, err)
+	}
+	crc := segTrailerCRC(raw)
+	if window != meta.Window || len(entries) != meta.Count ||
+		int64(len(raw)) != meta.Bytes || crc != meta.CRC {
+		return fmt.Errorf("%w: segment %d/%d does not match its advertised meta",
+			ErrCorrupt, meta.Window, meta.Seq)
+	}
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	name := stagedFileName(meta.Window, meta.Seq)
+	tmp := filepath.Join(d.opts.Dir, name+".tmp")
+	if err := writeFileSync(tmp, func(w *os.File) error {
+		_, werr := w.Write(raw)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("store: stage segment: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.opts.Dir, name)); err != nil {
+		return fmt.Errorf("store: stage segment: %w", err)
+	}
+	if err := syncDir(d.opts.Dir); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	replaced := false
+	for i, m := range d.staged {
+		if m.Window == meta.Window && m.Seq == meta.Seq {
+			d.staged[i] = meta
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		d.staged = append(d.staged, meta)
+	}
+	doc := d.manifestDocLocked()
+	d.mu.Unlock()
+	return saveManifest(d.opts.Dir, doc)
+}
+
+// FinishTieredBootstrap promotes the staged segments named by the
+// leader's manifest to live, replaces the memtable with the leader's
+// captured one, and rotates WAL, manifest, and checkpoint into the new
+// history. Like Reset, it breaks log continuity: old-generation
+// cursors must re-bootstrap.
+func (d *Disk) FinishTieredBootstrap(ms ManifestSnapshot, mem []index.Entry) error {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+
+	// Resolve every leader segment to a local durable file and its
+	// decoded entries before touching any state.
+	type resolved struct {
+		meta      SegmentMeta
+		entries   []index.Entry
+		fromStage bool
+	}
+	res := make([]resolved, 0, len(ms.Segments))
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	live := make(map[int64]*liveSeg, len(d.segs))
+	for w, seg := range d.segs {
+		live[w] = seg
+	}
+	staged := append([]SegmentMeta(nil), d.staged...)
+	d.mu.Unlock()
+	for _, m := range ms.Segments {
+		if seg := live[m.Window]; seg != nil && seg.meta.Seq == m.Seq && seg.meta.CRC == m.CRC {
+			res = append(res, resolved{meta: m, entries: seg.entries})
+			continue
+		}
+		found := false
+		for _, sm := range staged {
+			if sm.Window == m.Window && sm.Seq == m.Seq && sm.CRC == m.CRC {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("store: finish bootstrap: segment %d/%d neither live nor staged", m.Window, m.Seq)
+		}
+		path := filepath.Join(d.opts.Dir, stagedFileName(m.Window, m.Seq))
+		_, entries, crc, size, err := readSegmentFile(path, !d.opts.SegmentNoMmap)
+		if err != nil {
+			return fmt.Errorf("store: finish bootstrap: %w", err)
+		}
+		if crc != m.CRC || size != m.Bytes {
+			return fmt.Errorf("%w: staged segment %d/%d changed on disk", ErrCorrupt, m.Window, m.Seq)
+		}
+		res = append(res, resolved{meta: m, entries: entries, fromStage: true})
+	}
+
+	// Promote staged files to their live names before the manifest that
+	// references them rotates.
+	for _, r := range res {
+		if !r.fromStage {
+			continue
+		}
+		from := filepath.Join(d.opts.Dir, stagedFileName(r.meta.Window, r.meta.Seq))
+		to := filepath.Join(d.opts.Dir, segmentFileName(r.meta.Window, r.meta.Seq))
+		if err := os.Rename(from, to); err != nil {
+			return fmt.Errorf("store: promote staged segment: %w", err)
+		}
+	}
+	if err := syncDir(d.opts.Dir); err != nil {
+		return err
+	}
+
+	// Swap RAM state and rotate the WAL, exactly like Reset: the state
+	// at the start of the new generation is the leader's, so no cursor
+	// from the old history may advance across it.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.failed != nil {
+		err := d.failed
+		d.mu.Unlock()
+		return err
+	}
+	newGen := d.walGen + 1
+	f, err := os.OpenFile(filepath.Join(d.opts.Dir, walName(newGen)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("store: rotate wal: %w", err)
+	}
+	old, oldGen := d.wal, d.walGen
+	d.wal, d.walGen, d.walSize, d.dirty, d.appended = f, newGen, 0, false, 0
+	d.retired = make(map[uint64]int64)
+	d.state = make(map[uint64]index.Entry, len(mem))
+	for _, e := range mem {
+		d.state[e.ID] = e
+	}
+	d.segs = make(map[int64]*liveSeg, len(res))
+	d.segIDs = make(map[uint64]int64)
+	d.tombs = make(map[uint64][]int64)
+	d.tombCount = 0
+	d.staged = nil
+	for _, t := range ms.Tombstones {
+		d.addTombLocked(t.ID, t.Window)
+	}
+	for _, r := range res {
+		d.segs[r.meta.Window] = &liveSeg{meta: r.meta, entries: r.entries}
+		for _, e := range r.entries {
+			if !d.tombHasLocked(e.ID, r.meta.Window) {
+				d.segIDs[e.ID] = r.meta.Window
+			}
+		}
+	}
+	d.manifestOn = true
+	d.notifyLocked()
+	doc := d.manifestDocLocked()
+	memCopy := make([]index.Entry, 0, len(d.state))
+	for _, e := range d.state {
+		memCopy = append(memCopy, e)
+	}
+	d.mu.Unlock()
+
+	_ = old.Sync()
+	_ = old.Close()
+	if err := syncDir(d.opts.Dir); err != nil {
+		return err
+	}
+	if err := saveManifest(d.opts.Dir, doc); err != nil {
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: rotate manifest: %w", err)
+	}
+	if err := d.persistCheckpoint(newGen, memCopy); err != nil {
+		return err
+	}
+	d.removeUnreferencedSegments(doc)
+	d.removeObsolete(oldGen)
+	d.mu.Lock()
+	d.lastCP = time.Now()
+	d.mu.Unlock()
+	d.checkpoints.Inc()
+	d.log.Info("store finished tiered bootstrap",
+		"segments", len(res), "memEntries", len(mem), "generation", newGen)
+	return nil
+}
+
+// persistCheckpoint writes entries as checkpoint-<gen> via the
+// tmp+rename+dirsync dance.
+func (d *Disk) persistCheckpoint(gen uint64, entries []index.Entry) error {
+	tmp := filepath.Join(d.opts.Dir, "checkpoint.tmp")
+	if err := writeFileSync(tmp, func(w *os.File) error {
+		return snapshot.Write(w, entries)
+	}); err != nil {
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.opts.Dir, checkpointName(gen))); err != nil {
+		d.cpErrors.Inc()
+		return fmt.Errorf("store: publish checkpoint: %w", err)
+	}
+	if err := syncDir(d.opts.Dir); err != nil {
+		d.cpErrors.Inc()
+		return err
+	}
+	return nil
+}
+
+// removeUnreferencedSegments deletes every segment-looking file the
+// manifest does not reference — superseded sequences, leftover staged
+// files, torn tmp files.
+func (d *Disk) removeUnreferencedSegments(doc manifestDoc) {
+	names, err := os.ReadDir(d.opts.Dir)
+	if err != nil {
+		return
+	}
+	liveRef := make(map[string]struct{}, len(doc.Segments)+len(doc.Staged))
+	for _, m := range doc.Segments {
+		liveRef[segmentFileName(m.Window, m.Seq)] = struct{}{}
+	}
+	for _, m := range doc.Staged {
+		liveRef[stagedFileName(m.Window, m.Seq)] = struct{}{}
+	}
+	for _, de := range names {
+		name := de.Name()
+		// Torn tmp files from a crashed segment write: every writer holds
+		// cpMu, as do all sweep callers, so no live tmp can be caught here.
+		if strings.HasSuffix(name, ".fovg.tmp") {
+			os.Remove(filepath.Join(d.opts.Dir, name))
+			continue
+		}
+		if _, _, _, ok := parseSegmentName(name); !ok {
+			continue
+		}
+		if _, ref := liveRef[name]; !ref {
+			os.Remove(filepath.Join(d.opts.Dir, name))
+		}
+	}
+}
+
+// ErrNotTiered is returned by tiered-only operations on a store whose
+// segment tier is disabled.
+var ErrNotTiered = errors.New("store: segment tier disabled")

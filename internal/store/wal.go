@@ -66,7 +66,6 @@ func AppendWALRecord(buf *bytes.Buffer, rec Record) error {
 // 64 MiB comfortably holds the largest upload the server accepts.
 const maxRecordBytes = 64 << 20
 
-
 // Record is one decoded WAL record: a registered entry batch or a
 // removed id set, optionally stamped with the trace ID of the request
 // that produced it.
