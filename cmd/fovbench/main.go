@@ -156,6 +156,13 @@ func main() {
 			}
 			return figures.TableSegmentStorage(n)
 		}},
+		{"cluster-scaling", func() *figures.Table {
+			n := 20000
+			if *quick {
+				n = 5000
+			}
+			return figures.TableClusterScaling(n, queries)
+		}},
 	}
 
 	selected := func(j job) bool {

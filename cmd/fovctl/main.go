@@ -19,6 +19,7 @@
 //	fovctl -server http://127.0.0.1:8477 hotspots -top 10
 //	fovctl -server http://127.0.0.1:8477 contend -top 10
 //	fovctl -server http://127.0.0.1:8477 health
+//	fovctl -server http://127.0.0.1:8479 cluster
 //
 // explain runs a query with explain=1 and prints the server's execution
 // trace: per-stage timings, R-tree traversal counters, and every
@@ -84,6 +85,8 @@ func main() {
 		err = runContend(c, args[1:])
 	case "health":
 		err = runHealth(c)
+	case "cluster":
+		err = runCluster(*serverURL)
 	default:
 		usage()
 	}
@@ -98,7 +101,7 @@ func newRand() *rand.Rand {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|storage|top|hotspots|contend|health> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fovctl [-server URL] <capture|query|explain|traces|watch|snapshot|forget|checkpoint|stats|replication|storage|top|hotspots|contend|health|cluster> [flags]
   capture -scenario walk|walk-side|rotate|drive|bike -provider NAME [-threshold 0.5] [-noise]
   query    -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
   explain  -lat L -lng L [-radius 20] [-from ms] [-to ms] [-top 10]
@@ -113,7 +116,8 @@ func usage() {
   top      [-interval 2s] [-n 0] [-plain]   live ops dashboard over /debug/history
   hotspots [-top 10] [-n 1] [-interval 2s] [-plain]   heavy-hitter sketches from /debug/hotspots
   contend  [-top 10] [-n 1] [-interval 2s] [-plain]   lock wait/hold + profile tops from /debug/contention
-  health   evaluated component health from /healthz`)
+  health   evaluated component health from /healthz
+  cluster  router topology + per-partition health (point -server at fovcluster)`)
 	os.Exit(2)
 }
 

@@ -14,6 +14,13 @@
 //	          [-debug-addr 127.0.0.1:8478] [-slow-query 100ms] [-trace-sample 16]
 //	          [-profile] [-lock-sample 64] [-hotspots] [-hotspot-k 32]
 //	          [-read-cache] [-read-cache-size 1024]
+//	          [-cluster-topology topology.json -cluster-partition p0]
+//
+// -cluster-topology/-cluster-partition make this node one partition of
+// a fovcluster deployment (see cmd/fovcluster): uploads whose
+// representatives the topology routes elsewhere are rejected with HTTP
+// 421, and assigned segment ids are offset into the partition's
+// disjoint id space so ids are globally unique across the cluster.
 //
 // -data-dir makes ingest durable: every upload and removal is journaled
 // to a write-ahead log in the directory before it is acknowledged, the
@@ -108,6 +115,7 @@ import (
 	"time"
 
 	"fovr/internal/client"
+	"fovr/internal/cluster"
 	"fovr/internal/fov"
 	"fovr/internal/obs"
 	"fovr/internal/replica"
@@ -145,6 +153,8 @@ func main() {
 	hotspotK := flag.Int("hotspot-k", 32, "keys tracked per hotspot sketch with -hotspots")
 	readCache := flag.Bool("read-cache", false, "cache hot-cell query results (epoch-validated; fovr_readcache_* on /metrics)")
 	readCacheSize := flag.Int("read-cache-size", 0, "cached query boxes with -read-cache (0 = default 1024)")
+	clusterTopology := flag.String("cluster-topology", "", "cluster topology file; with -cluster-partition, rejects misrouted uploads (HTTP 421) and offsets assigned ids")
+	clusterPartition := flag.String("cluster-partition", "", "this node's partition id in -cluster-topology")
 	flag.Parse()
 
 	if *replicaOf != "" && *load != "" {
@@ -195,6 +205,29 @@ func main() {
 		cfg.ReadOnly = true
 		cfg.LeaderURL = *replicaOf
 		cfg.ReplicaLagWarnBytes = *replicaLagWarn
+	}
+	if (*clusterTopology == "") != (*clusterPartition == "") {
+		fmt.Fprintln(os.Stderr, "fovserver: -cluster-topology and -cluster-partition must be set together")
+		os.Exit(1)
+	}
+	if *clusterTopology != "" {
+		topo, err := cluster.Load(*clusterTopology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovserver:", err)
+			os.Exit(1)
+		}
+		if topo.WindowMillis != shardWindow.Milliseconds() {
+			fmt.Fprintf(os.Stderr, "fovserver: topology windowMillis %d disagrees with -shard-window %v; routing and sharding must use one width\n",
+				topo.WindowMillis, *shardWindow)
+			os.Exit(1)
+		}
+		base, err := topo.IDBase(*clusterPartition)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fovserver:", err)
+			os.Exit(1)
+		}
+		cfg.IDBase = base
+		cfg.OwnsRep = topo.OwnsRep(*clusterPartition)
 	}
 	var st *store.Disk
 	if *dataDir != "" {

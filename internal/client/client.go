@@ -169,7 +169,7 @@ func (c *Client) UploadTraced(u wire.Upload, trace string) ([]uint64, string, er
 	sp := uploadSpan.Start()
 	defer sp.End()
 	var respBody []byte
-	err = retryWithBackoff(c.MaxRetries, c.RetryDelay, uploadRetries, func() (bool, error) {
+	err = c.retryPolicy().Do(func() (bool, error) {
 		var retriable bool
 		var perr error
 		respBody, retriable, perr = c.postOnce("/upload", "application/octet-stream", body, trace)
@@ -417,27 +417,10 @@ func (c *Client) postOnce(path, contentType string, body []byte, trace string) (
 	return respBody, false, nil
 }
 
-// retryWithBackoff runs op until it succeeds, fails non-retriably, or
-// exhausts maxRetries retries, sleeping with exponential backoff
-// starting at delay (50 ms when zero). Each retry increments retries.
-// Shared by the upload path and the replication fetcher so both sides
-// of the wire pace transient failures the same way.
-func retryWithBackoff(maxRetries int, delay time.Duration, retries *obs.Counter, op func() (retriable bool, err error)) error {
-	if delay <= 0 {
-		delay = 50 * time.Millisecond
-	}
-	for attempt := 0; ; attempt++ {
-		retriable, err := op()
-		if err == nil {
-			return nil
-		}
-		if !retriable || attempt >= maxRetries {
-			return err
-		}
-		retries.Inc()
-		time.Sleep(delay)
-		delay *= 2
-	}
+// retryPolicy is the upload path's RetryPolicy: the client's knobs
+// plus the upload retry counter.
+func (c *Client) retryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: c.MaxRetries, Delay: c.RetryDelay, Retries: uploadRetries}
 }
 
 func (c *Client) httpClient() *http.Client {

@@ -1,0 +1,180 @@
+// Partition is the cluster router's thin per-partition client: one
+// struct per endpoint (leader or replica), context-aware so the router
+// can hedge and cancel, and deliberately narrower than Client — query
+// calls are single-shot (the router's hedging replaces per-endpoint
+// retries; retrying under a hedge would double-bill the latency
+// budget), while upload forwarding reuses the shared RetryPolicy plus
+// the 409 leader-redirect handling followers answer with.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fovr/internal/obs"
+	"fovr/internal/server"
+	"fovr/internal/wire"
+)
+
+var partitionForwardRetries = obs.GetOrCreateCounter("fovr_cluster_forward_retries_total")
+
+// Partition talks to one node of a partitioned cluster.
+type Partition struct {
+	// BaseURL is the node root, e.g. "http://127.0.0.1:8480".
+	BaseURL string
+	// HTTPClient must not carry a global timeout — the router bounds
+	// each call with a per-request context. Nil selects a fresh default
+	// client.
+	HTTPClient *http.Client
+	// Retry paces upload forwarding (queries never retry here).
+	Retry RetryPolicy
+}
+
+// NewPartition returns a client for the node at baseURL with the
+// default forwarding retry policy.
+func NewPartition(baseURL string) *Partition {
+	return &Partition{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{},
+		Retry:      RetryPolicy{MaxRetries: 2, Delay: 50 * time.Millisecond, Retries: partitionForwardRetries},
+	}
+}
+
+func (p *Partition) httpClient() *http.Client {
+	if p.HTTPClient != nil {
+		return p.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// PostJSON performs one JSON round-trip with no retries; the caller
+// hedges. trace, when non-empty, propagates the router's trace id so
+// partition-side traces stitch to the routed request.
+func (p *Partition) PostJSON(ctx context.Context, path string, reqBody, out any, trace string) error {
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(server.TraceHeader, trace)
+	}
+	resp, err := p.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: partition %s%s: %s: %s", p.BaseURL, path, resp.Status, bytes.TrimSpace(respBody))
+	}
+	return json.Unmarshal(respBody, out)
+}
+
+// Upload forwards one (sub-)upload to the partition. A 409 from a
+// follower names its leader in the ErrorResponse; Upload follows that
+// redirect once — topology refreshes are the durable fix, the redirect
+// just bridges a failover the router has not observed yet. Transient
+// failures retry under the shared policy.
+func (p *Partition) Upload(ctx context.Context, u wire.Upload, trace string) (server.UploadResponse, error) {
+	body, err := wire.EncodeBinary(u)
+	if err != nil {
+		return server.UploadResponse{}, err
+	}
+	resp, err := p.uploadTo(ctx, p.BaseURL, body, trace)
+	var redirect *redirectError
+	if errors.As(err, &redirect) && redirect.Leader != "" && redirect.Leader != p.BaseURL {
+		resp, err = p.uploadTo(ctx, redirect.Leader, body, trace)
+	}
+	return resp, err
+}
+
+// redirectError carries a follower's 409 leader hint.
+type redirectError struct {
+	Leader string
+	msg    string
+}
+
+func (e *redirectError) Error() string { return e.msg }
+
+func (p *Partition) uploadTo(ctx context.Context, baseURL string, body []byte, trace string) (server.UploadResponse, error) {
+	var out server.UploadResponse
+	err := p.Retry.Do(func() (bool, error) {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/upload", bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if trace != "" {
+			req.Header.Set(server.TraceHeader, trace)
+		}
+		resp, err := p.httpClient().Do(req)
+		if err != nil {
+			return !errors.Is(err, context.Canceled), err
+		}
+		defer resp.Body.Close()
+		respBody, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return true, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return false, json.Unmarshal(respBody, &out)
+		case http.StatusConflict:
+			var er server.ErrorResponse
+			_ = json.Unmarshal(respBody, &er)
+			return false, &redirectError{
+				Leader: er.Leader,
+				msg:    fmt.Sprintf("client: partition %s/upload: %s: %s", baseURL, resp.Status, bytes.TrimSpace(respBody)),
+			}
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true, fmt.Errorf("client: partition %s/upload: %s: %s", baseURL, resp.Status, bytes.TrimSpace(respBody))
+		default:
+			return false, fmt.Errorf("client: partition %s/upload: %s: %s", baseURL, resp.Status, bytes.TrimSpace(respBody))
+		}
+	})
+	return out, err
+}
+
+// Healthz probes the node's /healthz and returns its report. Both 200
+// and 503 decode — a failing node still answers — so only transport
+// errors and unexpected statuses surface as errors.
+func (p *Partition) Healthz(ctx context.Context) (server.HealthzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.BaseURL+"/healthz", nil)
+	if err != nil {
+		return server.HealthzResponse{}, err
+	}
+	resp, err := p.httpClient().Do(req)
+	if err != nil {
+		return server.HealthzResponse{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return server.HealthzResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return server.HealthzResponse{}, fmt.Errorf("client: partition %s/healthz: %s: %s", p.BaseURL, resp.Status, bytes.TrimSpace(body))
+	}
+	var hr server.HealthzResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		return server.HealthzResponse{}, fmt.Errorf("client: partition healthz: %w", err)
+	}
+	return hr, nil
+}

@@ -58,7 +58,7 @@ func (r *Replicator) Fetch(ctx context.Context, cur replica.Cursor, wait time.Du
 	ctx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
 	defer cancel()
 	var batch *replica.Batch
-	err := retryWithBackoff(r.MaxRetries, r.RetryDelay, replicaFetchRetries, func() (bool, error) {
+	err := r.retryPolicy().Do(func() (bool, error) {
 		if ctx.Err() != nil {
 			return false, ctx.Err() // canceled: retrying cannot help
 		}
@@ -206,7 +206,7 @@ func (r *Replicator) FetchMem(ctx context.Context) (*replica.Batch, error) {
 func (r *Replicator) tieredFetch(ctx context.Context, url, wantKind string, parse func(*http.Response, io.Reader) error) error {
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
-	return retryWithBackoff(r.MaxRetries, r.RetryDelay, replicaFetchRetries, func() (bool, error) {
+	return r.retryPolicy().Do(func() (bool, error) {
 		if ctx.Err() != nil {
 			return false, ctx.Err()
 		}
@@ -252,4 +252,10 @@ func (c *countReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// retryPolicy is the replication fetch RetryPolicy: the replicator's
+// knobs plus the replica fetch retry counter.
+func (r *Replicator) retryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: r.MaxRetries, Delay: r.RetryDelay, Retries: replicaFetchRetries}
 }

@@ -1,0 +1,49 @@
+package client
+
+import (
+	"time"
+
+	"fovr/internal/obs"
+)
+
+// RetryPolicy paces retriable operations with exponential backoff. It
+// is the single retry implementation in the client package: the upload
+// path, the replication fetcher and the cluster router's partition
+// clients all construct one instead of hand-rolling loops, so every
+// caller classifies and paces transient failures the same way.
+type RetryPolicy struct {
+	// MaxRetries bounds the number of retries after the first attempt;
+	// zero means one attempt, no retries.
+	MaxRetries int
+	// Delay is the first backoff sleep; it doubles per retry. Zero
+	// means 50 ms.
+	Delay time.Duration
+	// Retries, when non-nil, is incremented once per retry (not per
+	// attempt), matching the fovr_client_*_retries_total metrics.
+	Retries *obs.Counter
+}
+
+// Do runs op until it succeeds, fails non-retriably, or exhausts the
+// retry budget, sleeping with exponential backoff between attempts. op
+// reports whether its failure is worth retrying (connection errors,
+// 502/503/504) alongside the error.
+func (p RetryPolicy) Do(op func() (retriable bool, err error)) error {
+	delay := p.Delay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		retriable, err := op()
+		if err == nil {
+			return nil
+		}
+		if !retriable || attempt >= p.MaxRetries {
+			return err
+		}
+		if p.Retries != nil {
+			p.Retries.Inc()
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}

@@ -1,0 +1,262 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fovr/internal/client"
+	"fovr/internal/cluster"
+	"fovr/internal/geo"
+	"fovr/internal/obs"
+	"fovr/internal/query"
+	"fovr/internal/server"
+	"fovr/internal/wire"
+)
+
+// clusterNodeLatency is the emulated per-request service time of one
+// partition node. The benchmark host has a single core, so the CPU work
+// of serving a query cannot speed up with partition count; what a
+// partitioned deployment actually buys is more per-node service
+// capacity (each node's storage and NIC serve independently). The gate
+// below models that: one request at a time per node, each holding the
+// node for this long — the regime the router's scatter-gather is built
+// for. 10 ms is conservative for the paper's setting (crowd-sourced
+// mobile nodes behind real wireless networks), and large enough that
+// the single core's real per-query CPU (~1-3 ms of HTTP + merge work,
+// which contends across every in-flight request) stays out of the
+// measurement's way.
+const clusterNodeLatency = 10 * time.Millisecond
+
+// clusterStormWorkers is the closed-loop client concurrency of the
+// ingest and query storms.
+const clusterStormWorkers = 12
+
+// gatedNode wraps a partition leader's handler in a single-slot gate
+// plus the emulated service latency.
+func gatedNode(h http.Handler) http.Handler {
+	gate := make(chan struct{}, 1)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gate <- struct{}{}
+		defer func() { <-gate }()
+		time.Sleep(clusterNodeLatency)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// clusterTopology splits the corpus's 24 one-hour window keys into p
+// contiguous ranges, one per partition, spatial sharding disabled (the
+// corpus has no over-long segments).
+func clusterTopology(p int) *cluster.Topology {
+	topo := &cluster.Topology{
+		WindowMillis:  shardScaleWindow,
+		SpatialShards: -1,
+	}
+	per := 24 / p
+	for i := 0; i < p; i++ {
+		lo, hi := int64(i*per), int64((i+1)*per-1)
+		// Queries fan out to window floor(start/W)-1 .. floor(end/W), so
+		// a day's corpus makes the router visit keys -1 and 24 too; own
+		// them explicitly so day-edge queries stay single-partition
+		// instead of bouncing off the modulo fallback.
+		if i == 0 {
+			lo = -1
+		}
+		if i == p-1 {
+			hi = 24
+		}
+		topo.Partitions = append(topo.Partitions, cluster.Partition{
+			ID:      fmt.Sprintf("p%d", i),
+			Leader:  "pending",
+			Windows: []cluster.WindowRange{{From: lo, To: hi}},
+		})
+	}
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+// clusterUploads converts the shard-scaling corpus into the upload
+// batches a fleet of capture clients would post.
+func clusterUploads(entries int) []wire.Upload {
+	batches := shardScaleBatches(entries)
+	uploads := make([]wire.Upload, len(batches))
+	for i, b := range batches {
+		u := wire.Upload{Provider: b[0].Provider}
+		for _, e := range b {
+			u.Reps = append(u.Reps, e.Rep)
+		}
+		uploads[i] = u
+	}
+	return uploads
+}
+
+// clusterRun stands up p gated partition leaders and a router over
+// them, drives the ingest and query storms, and returns the measured
+// rates.
+func clusterRun(p, entries, queries int) (ingest time.Duration, qps, p50, p99 float64) {
+	topo := clusterTopology(p)
+	leaders := make([]*server.Server, p)
+	for i := range topo.Partitions {
+		base, err := topo.IDBase(topo.Partitions[i].ID)
+		if err != nil {
+			panic(err)
+		}
+		srv, err := server.New(server.Config{
+			Camera:    defaultCam,
+			IndexKind: server.IndexKindSharded,
+			Registry:  obs.NewRegistry(),
+			IDBase:    base,
+			OwnsRep:   topo.OwnsRep(topo.Partitions[i].ID),
+		})
+		if err != nil {
+			panic(err)
+		}
+		leaders[i] = srv
+		ts := httptest.NewServer(gatedNode(srv.Handler()))
+		defer ts.Close()
+		defer srv.Close()
+		topo.Partitions[i].Leader = ts.URL
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Topology: topo,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	// Ingest storm: session uploads through the router, closed-loop.
+	uploads := clusterUploads(entries)
+	work := make(chan wire.Upload, len(uploads))
+	for _, u := range uploads {
+		work <- u
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clusterStormWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(router.URL)
+			for u := range work {
+				if _, err := c.Upload(u); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ingest = time.Since(start)
+	var got int
+	for _, srv := range leaders {
+		got += srv.Index().Len()
+	}
+	if got != entries {
+		panic(fmt.Sprintf("cluster ingest lost entries: %d of %d", got, entries))
+	}
+
+	// Query storm: the shard-scaling query mix (1 h windows spread over
+	// the day), closed-loop over the same worker count.
+	rng := rand.New(rand.NewSource(52))
+	reqs := make([][]byte, queries)
+	for i := range reqs {
+		ts := int64(rng.Intn(86_400_000))
+		q := query.Query{
+			StartMillis: ts, EndMillis: ts + shardScaleWindow,
+			Center:       geo.Offset(shardScaleCity, rng.Float64()*360, rng.Float64()*5000),
+			RadiusMeters: 30,
+		}
+		body, err := json.Marshal(server.QueryRequest{Query: q})
+		if err != nil {
+			panic(err)
+		}
+		reqs[i] = body
+	}
+	lat := make([]float64, queries)
+	qwork := make(chan int, queries)
+	for i := range reqs {
+		qwork <- i
+	}
+	close(qwork)
+	start = time.Now()
+	for w := 0; w < clusterStormWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 30 * time.Second}
+			for i := range qwork {
+				t0 := time.Now()
+				resp, err := hc.Post(router.URL+"/query", "application/json", bytes.NewReader(reqs[i]))
+				if err != nil {
+					panic(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("cluster query: status %d", resp.StatusCode))
+				}
+				var qr server.QueryResponse
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					panic(err)
+				}
+				resp.Body.Close()
+				lat[i] = float64(time.Since(t0).Nanoseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	storm := time.Since(start)
+	qps = float64(queries) / storm.Seconds()
+	sort.Float64s(lat)
+	pick := func(q float64) float64 { return lat[int(q*float64(len(lat)-1))] }
+	return ingest, qps, pick(0.50), pick(0.99)
+}
+
+// TableClusterScaling measures scatter-gather query throughput at 1, 2,
+// and 4 partitions over the same corpus. Each partition leader sits
+// behind a single-slot gate with an emulated per-request service time
+// (see clusterNodeLatency): on this single-core host the CPU work of a
+// query cannot parallelize, so the honest question is how much
+// per-node service capacity the router can actually drive — the same
+// framing TableShardScaling uses for its Amdahl bound. The day's 24
+// window keys split contiguously across partitions, so the storm's
+// queries (1 h windows) mostly touch one partition each and the
+// partitions' gates drain in parallel; the expectation in ISSUE terms
+// is >= 1.6x query throughput at 2 partitions.
+func TableClusterScaling(entries, queries int) *Table {
+	t := &Table{
+		Title: "Cluster scaling — scatter-gather throughput vs partition count",
+		Columns: []string{"partitions", "ingest_ms", "ingest_kreps_per_sec",
+			"query_qps", "speedup", "query_p50_us", "query_p99_us"},
+	}
+	var base float64
+	for _, p := range []int{1, 2, 4} {
+		ingest, qps, p50, p99 := clusterRun(p, entries, queries)
+		speedup := 1.0
+		if p == 1 {
+			base = qps
+		} else {
+			speedup = qps / base
+		}
+		t.AddRow(fmt.Sprint(p),
+			f1(float64(ingest.Microseconds())/1000),
+			f1(float64(entries)/ingest.Seconds()/1000),
+			f1(qps), fmt.Sprintf("%.2f", speedup), f1(p50), f1(p99))
+	}
+	t.AddNote("Corpus: %d representatives in %d-entry session uploads posted through the router by %d closed-loop clients; %d queries (1 h windows over a day) per storm; GOMAXPROCS=%d.",
+		entries, shardScaleBatchLen, clusterStormWorkers, queries, runtime.GOMAXPROCS(0))
+	t.AddNote("Each partition leader is gated to one in-flight request with %v emulated service time (single-core host: real per-node service capacity, not CPU parallelism, is what partitioning buys — cf. TableShardScaling's max_par note).",
+		clusterNodeLatency)
+	t.AddNote("Window keys split contiguously across partitions, so 1 h queries fan out to ~1 partition and partitions drain in parallel; expectation: >= 1.6x query throughput at 2 partitions.")
+	return t
+}

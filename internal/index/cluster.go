@@ -1,0 +1,82 @@
+// Exported shard-key math for cluster placement.
+//
+// A partitioned deployment (internal/cluster) assigns ownership of the
+// very same keys Sharded computes internally: time-window keys for
+// normal segments and spatial-hash cells for over-long ones. These
+// helpers expose that math so the partition map, the router and the
+// per-node ownership guards all agree bit-for-bit with the index —
+// there is exactly one implementation of the key functions.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"fovr/internal/geo"
+)
+
+// WindowKey returns the time-shard key Sharded assigns to a segment
+// starting at startMillis under a window width of windowMillis.
+// Division is floored, so pre-epoch captures map to the correct
+// (negative) window.
+func WindowKey(startMillis, windowMillis int64) int64 {
+	return floorDiv(startMillis, windowMillis)
+}
+
+// WindowKeyRange returns the inclusive window-key range a query over
+// [startMillis, endMillis] must visit — identical to Sharded's internal
+// fan-out: a time shard holds segments starting within its window with
+// duration <= window, so only windows floor(start/W)-1 .. floor(end/W)
+// qualify.
+func WindowKeyRange(startMillis, endMillis, windowMillis int64) (lo, hi int64) {
+	lo = floorDiv(startMillis, windowMillis)
+	if lo > math.MinInt64 {
+		lo--
+	}
+	hi = floorDiv(endMillis, windowMillis)
+	return lo, hi
+}
+
+// SpatialCell returns the fallback spatial-hash cell (0..n-1) Sharded
+// assigns to an over-long segment anchored at p. n must be positive.
+func SpatialCell(p geo.Point, n int) int { return spatialCell(p, n) }
+
+// OverLong reports whether a segment spanning [startMillis, endMillis]
+// is routed to the spatial fallback instead of a time shard.
+func OverLong(startMillis, endMillis, windowMillis int64) bool {
+	return endMillis-startMillis > windowMillis
+}
+
+// NearestDist2 returns the squared weighted distance to center used to
+// rank nearest-neighbor results: longitude scaled by cos(latitude) so
+// the metric is locally correct, time ignored (it only filters).
+// Shared by Sharded's shard merge and the cluster router's partition
+// merge so their rankings agree exactly.
+func NearestDist2(center geo.Point) func(Neighbor) float64 {
+	_, w, _ := nearestParams(center, 0)
+	return func(n Neighbor) float64 {
+		dLng := (n.Entry.Rep.FoV.P.Lng - center.Lng) * w[0]
+		dLat := n.Entry.Rep.FoV.P.Lat - center.Lat
+		return dLng*dLng + dLat*dLat
+	}
+}
+
+// MergeNeighbors ranks the concatenation of per-source top-k lists by
+// the shared nearest metric (ids break ties) and truncates to k. Each
+// source must itself have ranked with the same metric, which makes the
+// concatenation's top-k equal to the top-k over the union — the merge
+// contract that keeps sharded, cached and routed results identical.
+func MergeNeighbors(center geo.Point, merged []Neighbor, k int) []Neighbor {
+	dist2 := NearestDist2(center)
+	sort.Slice(merged, func(i, j int) bool {
+		di, dj := dist2(merged[i]), dist2(merged[j])
+		if di != dj {
+			return di < dj
+		}
+		return merged[i].Entry.ID < merged[j].Entry.ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}

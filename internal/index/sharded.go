@@ -679,12 +679,7 @@ func (x *Sharded) ReadEpoch() uint64 { return x.view.Load().epoch }
 // starting within its window with duration <= window, so only windows
 // floor(start/W)-1 .. floor(end/W) qualify.
 func (x *Sharded) windowRange(startMillis, endMillis int64) (lo, hi int64) {
-	lo = floorDiv(startMillis, x.window)
-	if lo > math.MinInt64 {
-		lo--
-	}
-	hi = floorDiv(endMillis, x.window)
-	return lo, hi
+	return WindowKeyRange(startMillis, endMillis, x.window)
 }
 
 // viewShardsFor returns, in deterministic order (ascending window, then
@@ -867,23 +862,7 @@ func (x *Sharded) Nearest(center geo.Point, startMillis, endMillis int64, k int,
 	for _, rs := range results {
 		merged = append(merged, rs...)
 	}
-	_, w, _ := nearestParams(center, maxDistanceMeters)
-	dist2 := func(n Neighbor) float64 {
-		dLng := (n.Entry.Rep.FoV.P.Lng - center.Lng) * w[0]
-		dLat := n.Entry.Rep.FoV.P.Lat - center.Lat
-		return dLng*dLng + dLat*dLat
-	}
-	sort.Slice(merged, func(i, j int) bool {
-		di, dj := dist2(merged[i]), dist2(merged[j])
-		if di != dj {
-			return di < dj
-		}
-		return merged[i].Entry.ID < merged[j].Entry.ID
-	})
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	return merged
+	return MergeNeighbors(center, merged, k)
 }
 
 // allShards snapshots every live shard in deterministic order.

@@ -3,8 +3,8 @@
 // machine-readable reasons. Evaluate runs them all and folds the
 // component states into an overall verdict: the report is what /healthz
 // serves, and the overall state is what decides the HTTP status (a
-// failing node answers 503 so load balancers and the future query
-// router stop sending it work). States are ordered: ok < degraded <
+// failing node answers 503 so load balancers and the cluster router's
+// health probes stop sending it work). States are ordered: ok < degraded <
 // failing; the overall state is the worst component state.
 package obs
 
@@ -49,7 +49,7 @@ func (s HealthState) Worse(o HealthState) HealthState {
 
 // HealthCheck is one component's evaluated result.
 type HealthCheck struct {
-	Component string `json:"component"`
+	Component string      `json:"component"`
 	State     HealthState `json:"state"`
 	// Reasons are machine-readable strings explaining any non-ok state,
 	// e.g. "store: sticky fsync failure" — stable enough to alert on.

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -148,9 +149,10 @@ type History struct {
 	coarse  *histRes
 	dropped int
 
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started atomic.Bool
 }
 
 // NewHistory creates a sampler over reg. It does not start a goroutine;
@@ -171,6 +173,7 @@ func NewHistory(reg *Registry, cfg HistoryConfig) *History {
 // both resolutions: every tick samples fine, and coarse samples when at
 // least its interval has elapsed since its last sample.
 func (h *History) Start() {
+	h.started.Store(true)
 	go func() {
 		defer close(h.done)
 		ticker := time.NewTicker(h.cfg.FineInterval)
@@ -190,6 +193,12 @@ func (h *History) Start() {
 // call multiple times and safe if Start was never called.
 func (h *History) Stop() {
 	h.once.Do(func() { close(h.stop) })
+	if !h.started.Load() {
+		// Start was never called: there is no loop to drain, and done
+		// will never close. Waiting here would burn the full timeout
+		// on every Close of a sampler that was configured off.
+		return
+	}
 	select {
 	case <-h.done:
 	case <-time.After(2 * time.Second):

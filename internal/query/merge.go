@@ -1,0 +1,62 @@
+package query
+
+import (
+	"sort"
+
+	"fovr/internal/geo"
+	"fovr/internal/index"
+)
+
+// MergeRanked merges per-partition top-N result lists into the global
+// top-N, preserving the exact contract SearchCtx enforces: ascending
+// DistanceMeters with ids breaking ties, truncated to max (max <= 0
+// keeps everything). Because every input list was ranked by the same
+// comparator and truncated no earlier than max, the merged prefix is
+// identical to what a single index over the union would return — the
+// property the cluster router's differential suite pins.
+func MergeRanked(lists [][]Ranked, max int) []Ranked {
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]Ranked, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistanceMeters != out[j].DistanceMeters {
+			return out[i].DistanceMeters < out[j].DistanceMeters
+		}
+		return out[i].Entry.ID < out[j].Entry.ID
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// MergeNearest merges per-partition nearest-neighbor lists into the
+// global top-k using the same weighted metric every index
+// implementation ranks with (index.NearestDist2: longitude scaled by
+// cos(latitude), ids breaking ties). Merging by the reported
+// DistanceMeters would be subtly wrong — the ranking metric is the
+// equirectangular approximation, not the geographic distance — so the
+// merge recomputes it from the entry coordinates.
+func MergeNearest(center geo.Point, lists [][]Ranked, k int) []Ranked {
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	merged := make([]index.Neighbor, 0, n)
+	for _, l := range lists {
+		for _, r := range l {
+			merged = append(merged, index.Neighbor{Entry: r.Entry, DistanceMeters: r.DistanceMeters})
+		}
+	}
+	merged = index.MergeNeighbors(center, merged, k)
+	out := make([]Ranked, len(merged))
+	for i, m := range merged {
+		out[i] = Ranked{Entry: m.Entry, DistanceMeters: m.DistanceMeters}
+	}
+	return out
+}

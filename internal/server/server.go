@@ -49,6 +49,7 @@ import (
 	"fovr/internal/query"
 	"fovr/internal/replica"
 	"fovr/internal/rtree"
+	"fovr/internal/segment"
 	"fovr/internal/snapshot"
 	"fovr/internal/store"
 	"fovr/internal/wire"
@@ -136,6 +137,17 @@ type Config struct {
 	// ReadCacheCapacity bounds the number of cached query boxes when
 	// ReadCache is on. Zero selects the index package default (1024).
 	ReadCacheCapacity int
+	// IDBase offsets the segment-id sequence this server assigns: the
+	// first id handed out is IDBase+1. A partitioned cluster gives each
+	// partition a disjoint base (cmd/fovcluster derives
+	// partition-index·2^48 from the topology) so ids stay globally
+	// unique without cross-node coordination.
+	IDBase uint64
+	// OwnsRep, when non-nil, guards ingest against misrouted uploads: a
+	// representative it rejects fails the whole upload with
+	// ErrMisdirected (HTTP 421). Cluster deployments wire it from the
+	// topology file; nil accepts everything (single-node serving).
+	OwnsRep func(rep segment.Representative) error
 }
 
 func (c Config) withDefaults() Config {
@@ -346,7 +358,7 @@ func New(cfg Config) (*Server, error) {
 		idx:        idx,
 		store:      cfg.Store,
 		subs:       newSubscriptions(),
-		nextID:     1,
+		nextID:     cfg.IDBase + 1,
 		byProvider: make(map[string]int),
 		started:    time.Now(),
 	}
@@ -462,6 +474,17 @@ func (s *Server) RegisterTraced(u wire.Upload, trace string) ([]uint64, error) {
 	}
 	if u.Provider == "" {
 		return nil, errors.New("server: empty provider")
+	}
+	if s.cfg.OwnsRep != nil {
+		// All-or-nothing, like the insert itself: one misrouted
+		// representative rejects the whole upload before any id is
+		// assigned or journaled, so the router can resubmit the exact
+		// batch elsewhere without partial state here.
+		for i, rep := range u.Reps {
+			if err := s.cfg.OwnsRep(rep); err != nil {
+				return nil, fmt.Errorf("server: rep %d: %w: %v", i, ErrMisdirected, err)
+			}
+		}
 	}
 	sp := s.spanInsert.Start()
 	defer sp.End()
@@ -660,6 +683,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/upload", s.instrument("/upload", s.handleUpload))
 	mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("/nearest", s.instrument("/nearest", s.handleNearest))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("/snapshot", s.instrument("/snapshot", s.handleSnapshot))
 	mux.HandleFunc("/subscribe", s.instrument("/subscribe", s.handleSubscribe))
@@ -872,6 +896,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, ErrReadOnly) {
 			s.respondError(w, http.StatusConflict, err)
+			return
+		}
+		if errors.Is(err, ErrMisdirected) {
+			httpError(w, http.StatusMisdirectedRequest, "%v", err)
 			return
 		}
 		httpError(w, http.StatusBadRequest, "%v", err)
